@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 1 (thermal time shifting concept)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig1(run_once):
+    result = run_once(lambda: run_experiment("fig1"))
+    print("\n" + result.render())
+
+    # The concept figure's three claims: the thermal peak is flattened,
+    # the stored heat comes back at night, and the wax completes a daily
+    # cycle.
+    assert result.summary["peak_flattening_fraction"] > 0.02
+    assert result.summary["night_release_present"] == 1.0
+    assert result.summary["wax_completes_daily_cycle"] == 1.0
+
+    # The PCM curve sits below the baseline exactly while melting.
+    melting = np.diff(result.series["melt_fraction"], prepend=0.0) > 1e-6
+    below = (
+        result.series["thermal_output_with_pcm_w"]
+        < result.series["thermal_output_w"] - 1e-9
+    )
+    assert np.all(below[melting])

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 10 (the two-day workload trace)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig10(run_once):
+    result = run_once(lambda: run_experiment("fig10"))
+    print("\n" + result.render())
+
+    # The paper's normalization: 50% average, 95% peak, two days.
+    assert result.summary["average_load"] == pytest.approx(0.5, abs=1e-6)
+    assert result.summary["peak_load"] == pytest.approx(0.95, abs=1e-6)
+    assert result.summary["duration_hours"] == pytest.approx(48.0)
+    assert result.summary["components_sum_to_total"] == 1.0
+
+    # Diurnal structure: both daily peaks land midday-to-evening.
+    hours = result.series["hours"]
+    total = result.series["total"]
+    for day in (0, 1):
+        mask = (hours >= day * 24) & (hours < (day + 1) * 24)
+        peak_hour = hours[mask][np.argmax(total[mask])] % 24
+        assert 10.0 <= peak_hour <= 20.0
+
+    # Search is the dominant class, as in the paper's legend ordering.
+    assert np.mean(result.series["search"]) > np.mean(result.series["orkut"])
+    assert np.mean(result.series["search"]) > np.mean(
+        result.series["mapreduce"]
+    )

@@ -1,0 +1,60 @@
+"""Benchmark: regenerate Figure 11 / Section 5.1 (cooling-load reduction).
+
+Paper headline numbers: peak cooling-load reductions of 8.9% (1U), 12%
+(2U), and 8.3% (OCP); repayment tails of six to nine hours; +9.8% /
++14.6% / +8.9% servers under the same plant; $187k / $254k / $174k annual
+cooling savings; ~$3M/yr retrofit savings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("fig11")
+
+
+def test_bench_fig11(run_once):
+    result = run_once(lambda: run_experiment("fig11"))
+    print("\n" + result.render())
+
+    reductions = {
+        p: result.summary[f"{p}_peak_reduction"] for p in ("1u", "2u", "ocp")
+    }
+    # Shape: every platform sees a real reduction, in the paper's band.
+    for platform, value in reductions.items():
+        assert 0.04 <= value <= 0.16, platform
+    # Ordering: the 2U (most wax, 4 L) wins, as in the paper.
+    assert reductions["2u"] == max(reductions.values())
+    # Magnitudes near the paper's: within ~2.5 points per platform.
+    assert reductions["1u"] == pytest.approx(0.089, abs=0.03)
+    assert reductions["2u"] == pytest.approx(0.12, abs=0.03)
+    assert reductions["ocp"] == pytest.approx(0.083, abs=0.03)
+
+    # Repayment completes within the daily cycle.
+    for platform in ("1u", "2u", "ocp"):
+        assert result.summary[f"{platform}_repayment_hours"] < 20.0
+
+    # Fleet growth follows the reciprocal rule (paper: up to +14.6%).
+    assert result.summary["2u_fleet_growth"] == pytest.approx(0.146, abs=0.04)
+
+    # Dollar figures in the paper's band.
+    assert result.summary["2u_cooling_savings_usd"] == pytest.approx(
+        254_000.0, rel=0.3
+    )
+    for platform in ("1u", "2u", "ocp"):
+        assert result.summary[f"{platform}_retrofit_savings_usd"] == (
+            pytest.approx(3.1e6, rel=0.15)
+        )
+
+    # The with-PCM curve clips the peak but matches the baseline off-peak
+    # (series check on the 1U cluster).
+    baseline = result.series["1u_cooling_load_w"]
+    pcm = result.series["1u_load_with_pcm_w"]
+    assert np.max(pcm) < np.max(baseline)
+    # Total heat removed over two days is conserved within 2%: the wax
+    # only time-shifts it.
+    assert np.sum(pcm) == pytest.approx(np.sum(baseline), rel=0.02)

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 12 / Section 5.2 (throughput gain).
+
+Paper headline numbers: +33% peak throughput over 5.1 h (1U), +69% over
+3.1 h (2U), +34% over 3.1 h (OCP); TCO efficiency improvements of 23%,
+39%, 24%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig12(run_once):
+    result = run_once(lambda: run_experiment("fig12"))
+    print("\n" + result.render())
+
+    gains = {
+        p: result.summary[f"{p}_peak_throughput_gain"]
+        for p in ("1u", "2u", "ocp")
+    }
+    # Shape: the 2U (deepest oversubscription) gains the most, by far.
+    assert gains["2u"] == max(gains.values())
+    assert gains["2u"] > 1.5 * gains["1u"]
+    # Magnitudes near the paper's.
+    assert gains["1u"] == pytest.approx(0.33, abs=0.07)
+    assert gains["2u"] == pytest.approx(0.69, abs=0.10)
+    assert gains["ocp"] == pytest.approx(0.34, abs=0.07)
+
+    # Elevated-operation windows of several hours (paper: 3.1-5.1 h).
+    for platform in ("1u", "2u", "ocp"):
+        assert 2.0 <= result.summary[f"{platform}_elevated_hours"] <= 8.0
+    assert result.summary["1u_elevated_hours"] == pytest.approx(5.1, abs=1.5)
+
+    # TCO efficiency improvements track the gains (paper: 23/39/24%).
+    assert result.summary["1u_tco_efficiency_improvement"] == pytest.approx(
+        0.23, abs=0.05
+    )
+    assert result.summary["2u_tco_efficiency_improvement"] == pytest.approx(
+        0.39, abs=0.05
+    )
+    assert result.summary["ocp_tco_efficiency_improvement"] == pytest.approx(
+        0.24, abs=0.05
+    )
+
+    # Curve shapes: the with-wax arm tracks the ideal through the peak
+    # while the no-wax arm is pinned at (normalized) 1.0.
+    for platform in ("1u", "2u", "ocp"):
+        with_wax = result.series[f"{platform}_with_wax"]
+        ideal = result.series[f"{platform}_ideal"]
+        no_wax = result.series[f"{platform}_no_wax"]
+        assert np.max(with_wax) == pytest.approx(np.max(ideal), rel=0.03)
+        assert np.max(no_wax) == pytest.approx(1.0, rel=1e-6)

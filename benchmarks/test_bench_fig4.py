@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (model validation)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig4(run_once):
+    result = run_once(lambda: run_experiment("fig4"))
+    print("\n" + result.render())
+
+    # Paper: 0.22 degC mean steady-state difference between the real
+    # server and the model; we require the same sub-degree agreement
+    # against our independent reference model.
+    assert result.summary["steady_mean_abs_difference_c"] < 0.5
+    # "a strong correlation between the real measurements and Icepak
+    # simulation measurements for the trace".
+    assert result.summary["heating_correlation"] > 0.99
+    assert result.summary["cooling_correlation"] > 0.99
+    # "the wax reduces temperatures for two hours while the wax melts ...
+    # and afterwards increases temperatures for two hours".
+    assert 1.0 <= result.summary["wax_melt_effect_hours"] <= 5.0
+    assert 1.0 <= result.summary["wax_freeze_effect_hours"] <= 5.0

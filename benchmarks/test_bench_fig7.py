@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 7 (temperatures vs airflow blockage)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig7(run_once):
+    result = run_once(lambda: run_experiment("fig7"))
+    print("\n" + result.render())
+
+    # 1U: outlet rises ~14 degC at 90% blockage; CPUs rise < 2 degC
+    # below 50%.
+    assert result.summary["1u_outlet_rise_at_90pct_c"] == pytest.approx(
+        14.0, abs=1.5
+    )
+    assert result.summary["1u_cpu_rise_at_50pct_c"] < 2.5
+
+    # 2U: negligible below 50%, < 6 degC at the deployed 69%, steep above.
+    assert result.summary["2u_outlet_rise_at_50pct_c"] < 3.0
+    assert result.summary["2u_outlet_rise_at_69pct_c"] < 6.5
+    assert result.summary["2u_outlet_rise_at_90pct_c"] > (
+        3 * result.summary["2u_outlet_rise_at_69pct_c"]
+    )
+
+    # OCP: hot at zero blockage and hypersensitive to any obstruction.
+    assert result.summary["ocp_outlet_at_0pct_c"] > 55.0
+    assert result.summary["ocp_outlet_rise_at_30pct_c"] > 15.0
+
+    # All three curves are superlinear: the last 20% of blockage costs
+    # more than the first 50%.
+    for platform in ("1u", "2u", "ocp"):
+        blockage = result.series[f"{platform}_blockage"]
+        outlet = result.series[f"{platform}_outlet_c"]
+        half = outlet[np.argmin(np.abs(blockage - 0.5))] - outlet[0]
+        tail = outlet[-1] - outlet[np.argmin(np.abs(blockage - 0.7))]
+        assert tail > half

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 9 (Open Compute layouts and their wax capacity)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig9(run_once):
+    result = run_once(lambda: run_experiment("fig9", quick=True))
+    print("\n" + result.render())
+
+    # The reconfigured blade carries 3x the insert-swap wax...
+    assert result.summary["reconfigured_capacity_ratio"] == pytest.approx(3.0)
+    # ...and buys a strictly larger peak reduction with it.
+    assert result.summary["reconfigured_reduction"] > (
+        result.summary["insert_swap_reduction"]
+    )
+    # The reconfigured layout lands in the paper's band (8.3%).
+    assert result.summary["reconfigured_reduction"] == pytest.approx(
+        0.083, abs=0.035
+    )
+    # Neither layout adds airflow blockage versus the production blade.
+    assert result.summary["no_added_blockage"] == 1.0

@@ -1,0 +1,114 @@
+"""Microbenchmarks of the simulation hot paths.
+
+Unlike the per-figure benchmarks (single-shot experiment reproductions),
+these are true repeated-round measurements of the kernels that dominate
+the library's wall-clock: the chassis RK4 transient, the steady-state
+fixed point, the vectorized cluster tick, and a full fluid-mode simulated
+day.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.server.characterization import characterize_platform
+from repro.server.chassis import constant_utilization
+from repro.server.configs import one_u_commodity
+from repro.thermal.solver import simulate_transient
+from repro.thermal.steady_state import solve_steady_state
+from repro.units import hours
+from repro.workload.google import synthesize_google_trace
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return one_u_commodity()
+
+
+@pytest.fixture(scope="module")
+def characterization(spec):
+    return characterize_platform(spec)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_google_trace().total
+
+
+def test_bench_chassis_transient_hour(benchmark, spec):
+    """One simulated hour of the detailed chassis network (RK4)."""
+    network = spec.chassis.build_network(
+        constant_utilization(0.8), with_wax=True
+    )
+
+    result = benchmark(
+        lambda: simulate_transient(network, hours(1.0), output_interval_s=300.0)
+    )
+    assert result.times_s[-1] == pytest.approx(3600.0)
+
+
+def test_bench_chassis_steady_state(benchmark, spec):
+    """One steady-state solve of the detailed chassis network."""
+    network = spec.chassis.build_network(
+        constant_utilization(1.0), placebo=True
+    )
+    result = benchmark(lambda: solve_steady_state(network))
+    assert result.iterations > 0
+
+
+def test_bench_cluster_tick_1008(benchmark, spec, characterization):
+    """One vectorized thermal tick of a 1008-server cluster."""
+    state = ClusterThermalState(
+        characterization,
+        spec.power_model,
+        commercial_paraffin_with_melting_point(43.0),
+        server_count=1008,
+    )
+    utilization = np.full(1008, 0.7)
+
+    def tick():
+        return state.step(60.0, utilization, 2.4)
+
+    power, release, wax = benchmark(tick)
+    assert power.shape == (1008,)
+
+
+def test_bench_fluid_simulated_day(benchmark, spec, characterization, trace):
+    """A full simulated day of a 1008-server cluster in fluid mode."""
+    day_trace = trace  # two days; the simulator cost is linear in horizon
+
+    def run():
+        return DatacenterSimulator(
+            characterization,
+            spec.power_model,
+            commercial_paraffin_with_melting_point(43.0),
+            day_trace,
+            topology=ClusterTopology(server_count=1008),
+            config=SimulationConfig(mode="fluid", wax_enabled=True),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.peak_cooling_load_w > 0
+
+
+def test_bench_event_mode_day_96_servers(benchmark, spec, characterization):
+    """A simulated day of discrete-event traffic on 96 servers."""
+    from repro.workload.synthetic import diurnal_trace
+
+    day = diurnal_trace(duration_s=hours(24.0))
+
+    def run():
+        return DatacenterSimulator(
+            characterization,
+            spec.power_model,
+            commercial_paraffin_with_melting_point(43.0),
+            day,
+            topology=ClusterTopology(server_count=96),
+            config=SimulationConfig(mode="event", wax_enabled=True),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert float(np.mean(result.utilization)) > 0.3

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 1 (PCM properties and selection)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_table1(run_once):
+    result = run_once(lambda: run_experiment("table1"))
+    print("\n" + result.render())
+
+    # Paper outcome: commercial paraffin is the surviving material.
+    assert result.summary["selected_is_commercial_paraffin"] == 1.0
+    # "50x cheaper for 20% lower energy per gram."
+    assert result.summary["eicosane_cost_ratio"] == pytest.approx(50.0)
+    assert result.summary["energy_per_gram_penalty_fraction"] == pytest.approx(
+        0.20, abs=0.03
+    )
+    # "over a million dollars in wax costs alone" vs a modest commercial
+    # bill for the same datacenter.
+    assert result.summary["eicosane_datacenter_wax_usd"] > 1e6
+    assert result.summary["commercial_datacenter_wax_usd"] < 3e5
+    # The wax-bill ratio dwarfs even the per-ton ratio's effect after
+    # containers are included.
+    assert (
+        result.summary["eicosane_datacenter_wax_usd"]
+        > 10 * result.summary["commercial_datacenter_wax_usd"]
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (TCO parameters + Equation 1 totals)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_table2(run_once):
+    result = run_once(lambda: run_experiment("table2"))
+    print("\n" + result.render())
+
+    # The paper's structural claim: WaxCapEx is "less than 0.1% of the
+    # ServerCapEx" on every platform.
+    for platform in ("1u", "2u", "ocp"):
+        assert result.summary[f"wax_share_of_server_capex_{platform}"] < 0.002
+
+    headers, rows = result.tables["Equation 1 monthly TCO of each 10 MW datacenter"]
+    assert len(rows) == 3

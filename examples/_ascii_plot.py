@@ -1,0 +1,60 @@
+"""A tiny dependency-free ASCII line plotter for the example scripts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_plot(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 78,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series against a shared x axis as ASCII art.
+
+    Each series gets a distinct marker; the legend maps markers to names.
+    """
+    markers = "*o+x#@%&"
+    x = np.asarray(x, dtype=float)
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_low, y_high = float(np.min(all_y)), float(np.max(all_y))
+    if y_high - y_low < 1e-12:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x[0]), float(x[-1])
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        values = np.asarray(values, dtype=float)
+        for column in range(width):
+            x_probe = x_low + (x_high - x_low) * column / (width - 1)
+            y_probe = float(np.interp(x_probe, x, values))
+            row = int((y_high - y_probe) / (y_high - y_low) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:9.1f} |"
+        elif row_index == height - 1:
+            label = f"{y_low:9.1f} |"
+        else:
+            label = " " * 9 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_low:<10.1f}" + " " * (width - 20) + f"{x_high:>10.1f}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)

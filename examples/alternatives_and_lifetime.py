@@ -1,0 +1,118 @@
+"""Alternatives and lifetime: the Section 2/6 arguments, quantified.
+
+Four short studies around the paper's design choices:
+
+1. chilled-water tank vs in-server PCM on the same cooling-load trace
+   (the Section 6 TE-Shave comparison);
+2. the cooling-electricity arbitrage under the paper's $0.13/$0.08
+   tariff — and why it is negligible next to the capacity savings;
+3. which Table 1 material classes survive four years of daily cycling;
+4. computational sprinting vs thermal time shifting: the same physics,
+   four orders of magnitude apart in time.
+
+Run:  python examples/alternatives_and_lifetime.py
+"""
+
+from repro import CoolingLoadStudy, one_u_commodity, synthesize_google_trace
+from repro.analysis.tables import format_table
+from repro.cooling.chilled_water import shave_with_tank, tank_matching_pcm_capacity
+from repro.dcsim.cluster import ClusterTopology
+from repro.materials.degradation import assess_lifetime
+from repro.materials.library import MATERIAL_CLASSES
+from repro.sprinting import SprintChip, run_sprint
+from repro.tco.energy import compare_energy_shift
+from repro.tco.scenarios import smaller_cooling_savings
+
+
+def main() -> None:
+    spec = one_u_commodity()
+    trace = synthesize_google_trace().total
+    topology = ClusterTopology(server_count=1008)
+    outcome = CoolingLoadStudy(
+        spec, trace, topology=topology, melting_step_c=1.0
+    ).run()
+
+    # -- 1. chilled water vs PCM ----------------------------------------
+    tank = tank_matching_pcm_capacity(
+        spec.wax_loadout.latent_capacity_j,
+        topology.server_count,
+        discharge_ua_w_per_k=4_000.0,
+        pump_power_w=1_500.0,
+        floor_area_m2=12.0,
+    )
+    shave = shave_with_tank(
+        outcome.baseline.times_s,
+        outcome.baseline.cooling_load_w,
+        tank,
+        plant_capacity_w=outcome.with_pcm.peak_cooling_load_w,
+    )
+    print(
+        format_table(
+            ["", "in-server PCM", "chilled-water tank"],
+            [
+                ["peak reduction", f"{outcome.peak_reduction_fraction:.1%}",
+                 f"{shave.peak_reduction_fraction:.1%}"],
+                ["pumping energy (2 days)", "0 (passive)",
+                 f"{shave.pump_energy_j / 3.6e6:.0f} kWh"],
+                ["standing losses (2 days)", "0 (sealed, indoors)",
+                 f"{shave.standing_loss_j / 3.6e6:.0f} kWh(th)"],
+                ["floor space", "0 (inside servers)",
+                 f"{tank.floor_area_m2:.0f} m^2 outdoors"],
+            ],
+            title="Same joules of storage, two technologies (1008-server cluster)",
+        )
+    )
+
+    # -- 2. energy arbitrage --------------------------------------------
+    energy = compare_energy_shift(outcome.baseline, outcome.with_pcm)
+    capacity = smaller_cooling_savings(outcome.peak_reduction_fraction)
+    print(
+        f"\nCooling electricity saved by time shifting: "
+        f"${energy.cost_savings_usd * 182:.0f}/yr "
+        f"(the wax banks ~2% of a day's heat)"
+    )
+    print(
+        f"Cooling capacity saved by time shifting:    "
+        f"${capacity.annual_savings_usd:,.0f}/yr"
+    )
+    print("-> PCM is a capacity (kW) play, not an energy (kWh) play.\n")
+
+    # -- 3. lifetime ------------------------------------------------------
+    rows = []
+    for cls in MATERIAL_CLASSES:
+        a = assess_lifetime(cls.stability)
+        rows.append(
+            [
+                cls.name,
+                f"{a.remaining_capacity_fraction:.0%}",
+                "survives" if a.survives_server_lifetime else "needs replacement",
+            ]
+        )
+    print(
+        format_table(
+            ["material class", "capacity after 4 years", "verdict"],
+            rows,
+            title="Daily melt/freeze cycling over a server lifetime",
+        )
+    )
+
+    # -- 4. time scales -----------------------------------------------------
+    chip = SprintChip()
+    bare = run_sprint(chip, 16.0, horizon_s=1800.0)
+    sprint = run_sprint(chip, 16.0, pcm_grams=10.0, horizon_s=1800.0)
+    print(
+        f"\nChip scale: 10 g of eicosane stretches a 16 W sprint from "
+        f"{bare.duration_s:.0f} s to {sprint.duration_s:.0f} s."
+    )
+    print(
+        "Server scale: 1.2 L of commercial paraffin buffers the daily peak "
+        "for ~6 hours."
+    )
+    print(
+        "Same enthalpy method, same solver — the regimes differ by four "
+        "orders of magnitude in time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: how much does wax clip a cluster's peak cooling load?
+
+Builds the paper's validated 1U platform, synthesizes the two-day Google
+workload, and runs the Section 5.1 cooling-load study end to end — the
+melting-point optimization, the baseline and PCM cluster simulations, and
+the provisioning consequences.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoolingLoadStudy, one_u_commodity, synthesize_google_trace
+from repro.dcsim.cluster import ClusterTopology
+from repro.tco.scenarios import smaller_cooling_savings
+
+
+def main() -> None:
+    platform = one_u_commodity()
+    trace = synthesize_google_trace().total
+
+    print(f"Platform: {platform.name} ({platform.description})")
+    loadout = platform.wax_loadout
+    print(
+        f"Wax: {loadout.total_volume_m3 * 1000:.1f} L of "
+        f"{loadout.material.name}, latent capacity "
+        f"{loadout.latent_capacity_j / 1000:.0f} kJ/server"
+    )
+    print(f"Workload: {trace.duration_s / 3600:.0f} h Google-like trace, "
+          f"average {trace.average:.0%}, peak {trace.peak:.0%}")
+    print()
+
+    study = CoolingLoadStudy(
+        platform,
+        trace,
+        topology=ClusterTopology(server_count=1008),
+        melting_step_c=1.0,
+    )
+    outcome = study.run()
+
+    search = outcome.melting_point_search
+    print(f"Best wax blend: melts at {search.best_melting_point_c:.1f} degC")
+    print(
+        f"Peak cooling load: {outcome.baseline.peak_cooling_load_w / 1e3:.1f} kW "
+        f"-> {outcome.with_pcm.peak_cooling_load_w / 1e3:.1f} kW per cluster "
+        f"({outcome.peak_reduction_fraction:.1%} reduction)"
+    )
+    print(
+        f"Repayment tail: {outcome.comparison.repayment_hours:.1f} h of "
+        f"elevated off-peak load while the wax refreezes"
+    )
+    print(
+        f"Or instead: +{outcome.provisioning.additional_servers} servers "
+        f"(+{outcome.provisioning.fleet_growth_fraction:.1%}) under the "
+        f"same cooling plant"
+    )
+    savings = smaller_cooling_savings(outcome.peak_reduction_fraction)
+    print(
+        f"A 10 MW datacenter saves ~${savings.annual_savings_usd / 1e3:.0f}k "
+        f"per year on the cooling system"
+    )
+
+
+if __name__ == "__main__":
+    main()

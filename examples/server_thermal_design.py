@@ -1,0 +1,96 @@
+"""Chassis-level thermal design: blockage limits and the wax transient.
+
+Works at the detailed server-model level (the Icepak-role substrate)
+rather than the cluster level:
+
+1. sweeps a uniform grille across each platform (Figure 7) to find how
+   much airflow can be sacrificed to wax;
+2. runs the paper's validation protocol (1 h idle, 12 h load, 12 h idle)
+   on the 1U server with its deployed 1.2 L of wax and plots the melt /
+   refreeze transient.
+
+Run:  python examples/server_thermal_design.py
+"""
+
+import numpy as np
+
+from _ascii_plot import ascii_plot
+
+from repro import one_u_commodity, open_compute_blade, two_u_commodity
+from repro.analysis.tables import format_table
+from repro.server.chassis import constant_utilization, step_utilization
+from repro.thermal.solver import simulate_transient
+from repro.thermal.steady_state import solve_steady_state
+from repro.units import hours
+
+
+def blockage_sweep() -> None:
+    fractions = np.arange(0.0, 0.91, 0.1)
+    rows = []
+    for build in (one_u_commodity, two_u_commodity, open_compute_blade):
+        spec = build()
+        outlets = []
+        for fraction in fractions:
+            chassis = spec.chassis.with_grille_blockage(float(fraction))
+            network = chassis.build_network(constant_utilization(1.0))
+            outlets.append(solve_steady_state(network).outlet_temperature_c())
+        rows.append([spec.name] + [f"{t:.0f}" for t in outlets])
+    print(
+        format_table(
+            ["platform"] + [f"{f:.0%}" for f in fractions],
+            rows,
+            title="Outlet temperature (degC) vs airflow blockage at full load",
+        )
+    )
+    print(
+        "\nReading: the 1U shrugs off blockage (14 degC at 90%), the 2U is "
+        "stable to ~60%,\nand the Open Compute blade cannot afford to lose "
+        "any airflow — matching Figure 7.\n"
+    )
+
+
+def wax_transient() -> None:
+    spec = one_u_commodity()
+    schedule = step_utilization(0.0, 1.0, hours(1.0), hours(13.0))
+    wax_net = spec.chassis.build_network(schedule, with_wax=True)
+    placebo_net = spec.chassis.build_network(schedule, placebo=True)
+    wax = simulate_transient(wax_net, hours(25.0), output_interval_s=300.0)
+    placebo = simulate_transient(placebo_net, hours(25.0), output_interval_s=300.0)
+
+    melt_total = np.mean(
+        [wax.melt_fractions[name] for name in wax.melt_fractions], axis=0
+    )
+    print(
+        ascii_plot(
+            wax.times_hours,
+            {
+                "wax-zone air (wax)": wax.air_temperatures_c["wax"],
+                "wax-zone air (placebo)": placebo.air_temperatures_c["wax"],
+            },
+            title="1U validation protocol: 1 h idle, 12 h load, 12 h idle",
+            y_label="degC",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            wax.times_hours,
+            {"melt fraction": melt_total},
+            title="Deployed 1.2 L of wax: melts under load, refreezes overnight",
+            y_label="fraction molten",
+        )
+    )
+    absorbed = wax.heat_stored_in_pcm_j()
+    print(
+        f"\nPeak banked heat: {np.max(absorbed) / 1000:.0f} kJ of the "
+        f"{spec.wax_loadout.latent_capacity_j / 1000:.0f} kJ latent capacity"
+    )
+
+
+def main() -> None:
+    blockage_sweep()
+    wax_transient()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Thermal time shifting: PCM-enabled warehouse-scale computer simulation.
+
+A reproduction of Skach et al., "Thermal Time Shifting: Leveraging Phase
+Change Materials to Reduce Cooling Costs in Warehouse-Scale Computers"
+(ISCA 2015).
+
+Layers, bottom up:
+
+* :mod:`repro.materials` — phase change materials (enthalpy method,
+  Table 1 library, selection, cost).
+* :mod:`repro.thermal` — the server-level thermal substrate standing in
+  for ANSYS Icepak: lumped RC networks, quasi-steady airflow with a
+  blockage model, transient and steady-state solvers.
+* :mod:`repro.server` — the three evaluated platforms (1U RD330-class,
+  2U X4470-class, Open Compute blade), wax containers, and the
+  characterization that condenses a chassis into the lumped per-server
+  model the cluster simulator consumes.
+* :mod:`repro.workload` — the synthetic two-day Google trace and job
+  arrival generation.
+* :mod:`repro.dcsim` — the event-based datacenter simulator (round-robin
+  load balancing, DVFS, room thermal model, throttling policies).
+* :mod:`repro.cooling` / :mod:`repro.tco` — cooling plant provisioning
+  and the Table 2 / Equation 1 cost model.
+* :mod:`repro.core` — the paper's two headline studies (Sections 5.1 and
+  5.2) and the melting-point optimizer.
+* :mod:`repro.validation` — the Figure 4 validation harness.
+* :mod:`repro.experiments` — one runnable experiment per table/figure.
+
+Quickstart::
+
+    from repro import (
+        CoolingLoadStudy, one_u_commodity, synthesize_google_trace,
+    )
+
+    trace = synthesize_google_trace().total
+    outcome = CoolingLoadStudy(one_u_commodity(), trace).run()
+    print(f"peak cooling load reduced {outcome.peak_reduction_fraction:.1%}")
+"""
+
+from repro.core import (
+    CoolingLoadOutcome,
+    CoolingLoadStudy,
+    MeltingPointSearch,
+    ThroughputOutcome,
+    ThroughputStudy,
+    optimize_melting_point,
+)
+from repro.materials import (
+    COMMERCIAL_PARAFFIN,
+    EICOSANE,
+    PCMMaterial,
+    PCMSample,
+    PhaseState,
+    commercial_paraffin_with_melting_point,
+    select_material,
+)
+from repro.server import (
+    PlatformSpec,
+    characterize_platform,
+    open_compute_blade,
+    one_u_commodity,
+    platform_by_name,
+    two_u_commodity,
+)
+from repro.workload import LoadTrace, synthesize_google_trace
+from repro.dcsim import (
+    ClusterTopology,
+    DatacenterSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.experiments import run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # materials
+    "PCMMaterial",
+    "PCMSample",
+    "PhaseState",
+    "EICOSANE",
+    "COMMERCIAL_PARAFFIN",
+    "commercial_paraffin_with_melting_point",
+    "select_material",
+    # server platforms
+    "PlatformSpec",
+    "one_u_commodity",
+    "two_u_commodity",
+    "open_compute_blade",
+    "platform_by_name",
+    "characterize_platform",
+    # workload
+    "LoadTrace",
+    "synthesize_google_trace",
+    # simulator
+    "ClusterTopology",
+    "DatacenterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    # core studies
+    "CoolingLoadStudy",
+    "CoolingLoadOutcome",
+    "ThroughputStudy",
+    "ThroughputOutcome",
+    "MeltingPointSearch",
+    "optimize_melting_point",
+    # experiments
+    "run_experiment",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities: trace comparison statistics and table rendering."""
+
+from repro.analysis.metrics import (
+    TraceComparison,
+    compare_traces,
+    phase_activity_hours,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "TraceComparison",
+    "compare_traces",
+    "phase_activity_hours",
+    "format_table",
+]

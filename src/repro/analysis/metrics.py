@@ -1,0 +1,80 @@
+"""Statistics for comparing temperature and load traces.
+
+Used by the Figure 4 validation harness ("We observe a mean difference of
+0.22 degC between the real measurements and Icepak simulation measurements
+on the loaded server") and by tests asserting model agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Agreement statistics between two congruent traces."""
+
+    mean_difference: float
+    mean_abs_difference: float
+    rmse: float
+    max_abs_difference: float
+    correlation: float
+
+    def within(self, mean_abs_tolerance: float) -> bool:
+        """Whether the mean absolute difference is inside a tolerance."""
+        return self.mean_abs_difference <= mean_abs_tolerance
+
+
+def compare_traces(reference: np.ndarray, candidate: np.ndarray) -> TraceComparison:
+    """Compare a candidate trace against a reference of equal length."""
+    ref = np.asarray(reference, dtype=float)
+    cand = np.asarray(candidate, dtype=float)
+    if ref.shape != cand.shape or ref.ndim != 1:
+        raise ConfigurationError(
+            f"traces must be congruent 1-D arrays, got {ref.shape} vs {cand.shape}"
+        )
+    if len(ref) < 2:
+        raise ConfigurationError("need at least two samples to compare")
+    difference = cand - ref
+    ref_std = float(np.std(ref))
+    cand_std = float(np.std(cand))
+    if ref_std > 0 and cand_std > 0:
+        correlation = float(np.corrcoef(ref, cand)[0, 1])
+    else:
+        # A constant trace correlates perfectly with a constant candidate
+        # and is undefined otherwise; report 1.0 / 0.0 respectively.
+        correlation = 1.0 if ref_std == cand_std else 0.0
+    return TraceComparison(
+        mean_difference=float(np.mean(difference)),
+        mean_abs_difference=float(np.mean(np.abs(difference))),
+        rmse=float(np.sqrt(np.mean(difference**2))),
+        max_abs_difference=float(np.max(np.abs(difference))),
+        correlation=correlation,
+    )
+
+
+def phase_activity_hours(
+    times_s: np.ndarray,
+    wax_heat_w: np.ndarray,
+    threshold_w: float = 0.5,
+) -> tuple[float, float]:
+    """(absorbing, releasing) durations in hours of a wax heat-flow trace.
+
+    The paper observes the validation wax "reduces temperatures for two
+    hours while the wax melts ... and afterwards increases temperatures for
+    two hours while the wax freezes".
+    """
+    times = np.asarray(times_s, dtype=float)
+    heat = np.asarray(wax_heat_w, dtype=float)
+    if times.shape != heat.shape:
+        raise ConfigurationError("times and heat trace must be congruent")
+    if threshold_w < 0:
+        raise ConfigurationError("threshold must be non-negative")
+    dt = np.diff(times, prepend=times[0])
+    absorbing = float(np.sum(dt[heat > threshold_w])) / 3600.0
+    releasing = float(np.sum(dt[heat < -threshold_w])) / 3600.0
+    return absorbing, releasing

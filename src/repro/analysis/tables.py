@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows the paper's tables and figure captions
+report; this module renders them monospace-aligned so the benchmark logs
+read like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Cells are stringified with ``str``; numeric formatting is the caller's
+    responsibility.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)

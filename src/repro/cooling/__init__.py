@@ -1,0 +1,38 @@
+"""Datacenter cooling system models.
+
+The cooling load of a datacenter is "the power that must be removed to
+maintain a constant temperature" (paper Section 5.1). These modules turn
+simulator output into cooling-load series, model the cooling plant (sized
+to a peak capacity, with subscription levels), and compute the
+provisioning consequences of PCM: a smaller plant for the same servers, or
+more servers under the same plant.
+"""
+
+from repro.cooling.load import CoolingLoadSeries, PeakComparison, compare_peaks
+from repro.cooling.system import CoolingSystem, Subscription
+from repro.cooling.provisioning import (
+    ProvisioningGain,
+    added_servers_under_same_plant,
+    smaller_plant_for_same_servers,
+)
+from repro.cooling.chilled_water import (
+    ChilledWaterTank,
+    TankShaveResult,
+    shave_with_tank,
+    tank_matching_pcm_capacity,
+)
+
+__all__ = [
+    "ChilledWaterTank",
+    "TankShaveResult",
+    "shave_with_tank",
+    "tank_matching_pcm_capacity",
+    "CoolingLoadSeries",
+    "PeakComparison",
+    "compare_peaks",
+    "CoolingSystem",
+    "Subscription",
+    "ProvisioningGain",
+    "added_servers_under_same_plant",
+    "smaller_plant_for_same_servers",
+]

@@ -1,0 +1,236 @@
+"""Chilled-water-tank thermal energy storage: the active baseline.
+
+Section 6 of the paper compares PCM against "chilled water tanks for
+thermal energy storage ... an active cooling solution considered by
+several authors" (Zheng et al.'s TE-Shave among them), and argues PCM's
+advantages: completely passive, no floor space, no pumping power, no
+standing losses ("chilled water tanks ... must be deployed outdoors and
+cooled regularly, whether used or not, to compensate for environmental
+losses").
+
+This module implements that baseline so the comparison is quantitative: a
+tank of chilled water charged (cooled below the supply setpoint) when the
+plant has spare capacity and discharged against the peak, with:
+
+* sensible-heat storage (no phase change): capacity = m * cp * dT_swing;
+* charge limited by the plant's spare capacity;
+* discharge limited by a heat-exchanger UA;
+* a standing loss proportional to the stored charge (environmental gain
+  into the cold tank);
+* pumping power while charging or discharging;
+* capital cost per kWh of storage and floor space per tank volume.
+
+The shared peak-shaving scheduler in :func:`shave_with_tank` consumes the
+same cluster cooling-load trace the PCM study produces, so the two
+technologies are compared on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Specific heat of water, J/(kg K).
+WATER_SPECIFIC_HEAT = 4186.0
+
+#: Density of water, kg/m^3.
+WATER_DENSITY = 998.0
+
+
+@dataclass(frozen=True)
+class ChilledWaterTank:
+    """A stratified chilled-water storage tank.
+
+    Parameters
+    ----------
+    volume_m3:
+        Water volume.
+    temperature_swing_k:
+        Usable stratified swing between charged and discharged (typical
+        district systems run 6-10 K).
+    discharge_ua_w_per_k:
+        Heat-exchanger conductance limiting the discharge rate.
+    standing_loss_fraction_per_day:
+        Fraction of the stored charge lost to the environment per day
+        (the "cooled regularly, whether used or not" penalty).
+    pump_power_w:
+        Electrical draw of the charge/discharge loop while active.
+    capital_usd_per_kwh_thermal:
+        Installed cost per thermal kWh of capacity.
+    floor_area_m2:
+        Outdoor pad area the tank occupies.
+    """
+
+    volume_m3: float
+    temperature_swing_k: float = 8.0
+    discharge_ua_w_per_k: float | None = None
+    standing_loss_fraction_per_day: float = 0.10
+    pump_power_w: float = 0.0
+    capital_usd_per_kwh_thermal: float = 120.0
+    floor_area_m2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.volume_m3 <= 0:
+            raise ConfigurationError("tank volume must be positive")
+        if self.temperature_swing_k <= 0:
+            raise ConfigurationError("temperature swing must be positive")
+        if not 0.0 <= self.standing_loss_fraction_per_day < 1.0:
+            raise ConfigurationError(
+                "standing loss must be a fraction in [0, 1)"
+            )
+        if self.pump_power_w < 0:
+            raise ConfigurationError("pump power must be non-negative")
+        if self.capital_usd_per_kwh_thermal < 0:
+            raise ConfigurationError("capital cost must be non-negative")
+
+    @property
+    def mass_kg(self) -> float:
+        """Water mass."""
+        return self.volume_m3 * WATER_DENSITY
+
+    @property
+    def capacity_j(self) -> float:
+        """Thermal storage capacity (sensible heat over the swing)."""
+        return self.mass_kg * WATER_SPECIFIC_HEAT * self.temperature_swing_k
+
+    @property
+    def capacity_kwh(self) -> float:
+        """Capacity in thermal kWh."""
+        return self.capacity_j / 3.6e6
+
+    @property
+    def capital_cost_usd(self) -> float:
+        """Installed cost of the tank."""
+        return self.capacity_kwh * self.capital_usd_per_kwh_thermal
+
+    def max_discharge_w(self, charge_fraction: float) -> float:
+        """Cooling power the tank can deliver at a state of charge.
+
+        UA-limited if a heat exchanger is specified (driving temperature
+        scales with the remaining stratified swing), otherwise unlimited.
+        """
+        if not 0.0 <= charge_fraction <= 1.0:
+            raise ConfigurationError(
+                f"charge fraction must be in [0, 1], got {charge_fraction}"
+            )
+        if self.discharge_ua_w_per_k is None:
+            return np.inf if charge_fraction > 0 else 0.0
+        return (
+            self.discharge_ua_w_per_k
+            * self.temperature_swing_k
+            * charge_fraction
+        )
+
+
+@dataclass
+class TankShaveResult:
+    """Outcome of peak-shaving a cooling-load trace with a tank."""
+
+    times_s: np.ndarray
+    shaved_load_w: np.ndarray
+    charge_fraction: np.ndarray
+    pump_energy_j: float
+    standing_loss_j: float
+    baseline_peak_w: float
+
+    @property
+    def peak_w(self) -> float:
+        """Peak plant load after shaving."""
+        return float(np.max(self.shaved_load_w))
+
+    @property
+    def peak_reduction_fraction(self) -> float:
+        """Fractional reduction of the plant's peak load."""
+        return 1.0 - self.peak_w / self.baseline_peak_w
+
+
+def shave_with_tank(
+    times_s: np.ndarray,
+    cooling_load_w: np.ndarray,
+    tank: ChilledWaterTank,
+    plant_capacity_w: float,
+) -> TankShaveResult:
+    """Greedy peak shaving: discharge above the target, recharge below it.
+
+    The target plant load is the given capacity: whenever the cluster's
+    cooling load exceeds it, the tank discharges (if it has charge and
+    discharge headroom); whenever the load is below it, the plant's spare
+    capacity recharges the tank. Standing losses drain the charge
+    continuously and must be re-charged — chilled water pays this tax
+    every day whether the peak materializes or not.
+    """
+    times = np.asarray(times_s, dtype=float)
+    load = np.asarray(cooling_load_w, dtype=float)
+    if times.shape != load.shape or times.ndim != 1 or len(times) < 2:
+        raise ConfigurationError("times and load must be congruent 1-D arrays")
+    if plant_capacity_w <= 0:
+        raise ConfigurationError("plant capacity must be positive")
+
+    dt = np.diff(times, prepend=times[0])
+    charge_j = tank.capacity_j  # start fully charged
+    shaved = np.empty_like(load)
+    charge_trace = np.empty_like(load)
+    pump_energy = 0.0
+    standing_loss = 0.0
+    loss_rate = tank.standing_loss_fraction_per_day / 86400.0
+
+    for i in range(len(times)):
+        step = dt[i] if dt[i] > 0 else 0.0
+        # Standing loss: the environment heats the cold tank continuously.
+        loss = charge_j * loss_rate * step
+        charge_j -= loss
+        standing_loss += loss
+
+        pumping = False
+        if load[i] > plant_capacity_w and charge_j > 0:
+            deficit = load[i] - plant_capacity_w
+            rate = min(deficit, tank.max_discharge_w(charge_j / tank.capacity_j))
+            rate = min(rate, charge_j / step if step > 0 else rate)
+            shaved[i] = load[i] - rate
+            charge_j -= rate * step
+            pumping = rate > 0
+        elif load[i] < plant_capacity_w and charge_j < tank.capacity_j:
+            spare = plant_capacity_w - load[i]
+            rate = min(spare, (tank.capacity_j - charge_j) / step if step > 0 else spare)
+            shaved[i] = load[i] + rate
+            charge_j += rate * step
+            pumping = rate > 0
+        else:
+            shaved[i] = load[i]
+
+        if pumping:
+            pump_energy += tank.pump_power_w * step
+        charge_j = float(np.clip(charge_j, 0.0, tank.capacity_j))
+        charge_trace[i] = charge_j / tank.capacity_j
+
+    return TankShaveResult(
+        times_s=times,
+        shaved_load_w=shaved,
+        charge_fraction=charge_trace,
+        pump_energy_j=pump_energy,
+        standing_loss_j=standing_loss,
+        baseline_peak_w=float(np.max(load)),
+    )
+
+
+def tank_matching_pcm_capacity(
+    pcm_latent_capacity_j: float,
+    server_count: int,
+    **tank_overrides: float,
+) -> ChilledWaterTank:
+    """A tank sized to the same thermal capacity as a PCM deployment.
+
+    The apples-to-apples comparison of Section 6: the same joules of peak
+    shaving bought as chilled water instead of wax.
+    """
+    if pcm_latent_capacity_j <= 0 or server_count <= 0:
+        raise ConfigurationError("capacity and server count must be positive")
+    total_j = pcm_latent_capacity_j * server_count
+    swing = tank_overrides.pop("temperature_swing_k", 8.0)
+    volume = total_j / (WATER_DENSITY * WATER_SPECIFIC_HEAT * swing)
+    return ChilledWaterTank(
+        volume_m3=volume, temperature_swing_k=swing, **tank_overrides
+    )

@@ -1,0 +1,83 @@
+"""Provisioning consequences of a reduced peak cooling load (Section 5.1).
+
+With PCM clipping the peak cooling load by a fraction ``r``, the operator
+can either:
+
+* install a plant smaller by ``r`` for the same server fleet ("PCM allows
+  us to install an 8.3-12% smaller cooling system"), or
+* keep the plant and deploy more servers: the fleet grows by the
+  reciprocal factor ``1 / (1 - r) - 1`` (the paper's +8.9% / +9.8% /
+  +14.6% server counts), because each PCM-equipped server presents a
+  peak cooling load smaller by ``r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cooling.load import PeakComparison
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProvisioningGain:
+    """One provisioning option unlocked by PCM."""
+
+    #: Fractional peak cooling-load reduction the wax delivered.
+    peak_reduction_fraction: float
+    #: Plant capacity saved for the same fleet (W).
+    plant_capacity_saved_w: float
+    #: Additional servers deployable under the unchanged plant.
+    additional_servers: int
+    #: Fleet growth fraction corresponding to ``additional_servers``.
+    fleet_growth_fraction: float
+
+
+def smaller_plant_for_same_servers(
+    comparison: PeakComparison,
+) -> float:
+    """Plant capacity (W) saved by sizing to the PCM peak instead.
+
+    The plant must still cover the repayment tail, but the repayment
+    happens strictly below the clipped peak (the wax refreezes only when
+    load has fallen), so sizing to the PCM peak is safe — the paper makes
+    the same observation ("there is sufficient cooling capacity to
+    completely resolidify before the end of a 24 hour cycle").
+    """
+    saved = comparison.baseline_peak_w - comparison.pcm_peak_w
+    if saved < 0:
+        raise ConfigurationError(
+            "PCM peak exceeds baseline peak; wax configuration is harmful"
+        )
+    return saved
+
+
+def added_servers_under_same_plant(
+    comparison: PeakComparison, current_server_count: int
+) -> ProvisioningGain:
+    """Servers addable without exceeding the existing plant's capacity.
+
+    The plant was sized for the no-PCM peak. Each PCM server contributes a
+    per-server peak smaller by the reduction fraction, so the fleet can
+    grow until (new count) x (per-server PCM peak) equals the old plant
+    capacity.
+    """
+    if current_server_count <= 0:
+        raise ConfigurationError(
+            f"server count must be positive, got {current_server_count}"
+        )
+    reduction = comparison.peak_reduction_fraction
+    if reduction >= 1.0:
+        raise ConfigurationError("peak reduction fraction must be below 1")
+    if reduction < 0:
+        raise ConfigurationError(
+            "PCM peak exceeds baseline peak; wax configuration is harmful"
+        )
+    growth = 1.0 / (1.0 - reduction) - 1.0
+    additional = int(growth * current_server_count)
+    return ProvisioningGain(
+        peak_reduction_fraction=reduction,
+        plant_capacity_saved_w=smaller_plant_for_same_servers(comparison),
+        additional_servers=additional,
+        fleet_growth_fraction=growth,
+    )

@@ -1,0 +1,92 @@
+"""The cooling plant: capacity, subscription, and linear cost scaling.
+
+The paper "assume[s] a linear relationship between the cost of cooling
+infrastructure and the peak cooling load the cooling system can handle"
+(Section 4.3); Table 2 prices CoolingInfraCapEx at $7.0 per kW of critical
+power per month and CoolingEnergyOpEx at $18.4/kW-month. A
+:class:`CoolingSystem` carries a removable-heat capacity and answers
+whether a load series fits; :class:`Subscription` classifies the
+relationship between plant capacity and the load placed on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cooling.load import CoolingLoadSeries
+from repro.errors import ConfigurationError
+
+
+class Subscription(enum.Enum):
+    """How a cooling plant relates to the load it serves."""
+
+    #: Capacity meets or exceeds the peak load indefinitely (Section 5.1).
+    FULLY_SUBSCRIBED = "fully_subscribed"
+    #: Capacity below the all-servers-active heat output (Section 5.2).
+    OVERSUBSCRIBED = "oversubscribed"
+
+
+@dataclass(frozen=True)
+class CoolingSystem:
+    """A cooling plant sized to remove a peak heat load.
+
+    Parameters
+    ----------
+    capacity_w:
+        Heat the plant can remove continuously.
+    coefficient_of_performance:
+        Heat removed per unit of electrical energy spent removing it
+        (typical chilled-water plants run 3-5).
+    """
+
+    capacity_w: float
+    coefficient_of_performance: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_w <= 0:
+            raise ConfigurationError(
+                f"cooling capacity must be positive, got {self.capacity_w}"
+            )
+        if self.coefficient_of_performance <= 0:
+            raise ConfigurationError("COP must be positive")
+
+    @classmethod
+    def sized_for(
+        cls, series: CoolingLoadSeries, margin: float = 0.0, **kwargs: float
+    ) -> "CoolingSystem":
+        """A plant sized to a load series' peak plus a fractional margin."""
+        if margin < 0:
+            raise ConfigurationError(f"margin must be non-negative, got {margin}")
+        return cls(capacity_w=series.peak_w * (1.0 + margin), **kwargs)
+
+    def subscription_for(self, series: CoolingLoadSeries) -> Subscription:
+        """Classify this plant against a load series."""
+        if series.peak_w <= self.capacity_w:
+            return Subscription.FULLY_SUBSCRIBED
+        return Subscription.OVERSUBSCRIBED
+
+    def can_remove(self, series: CoolingLoadSeries) -> bool:
+        """Whether the plant covers the series at every instant."""
+        return bool(np.all(series.load_w <= self.capacity_w + 1e-9))
+
+    def violation_hours(self, series: CoolingLoadSeries) -> float:
+        """Hours for which the series exceeds capacity."""
+        dt = np.diff(series.times_s, prepend=series.times_s[0])
+        return float(np.sum(dt[series.load_w > self.capacity_w])) / 3600.0
+
+    def electrical_power_w(self, heat_load_w: float | np.ndarray) -> np.ndarray:
+        """Electricity drawn to remove a heat load (COP model)."""
+        load = np.asarray(heat_load_w, dtype=float)
+        if np.any(load < 0):
+            raise ConfigurationError("heat load must be non-negative")
+        return load / self.coefficient_of_performance
+
+    def resized(self, capacity_w: float) -> "CoolingSystem":
+        """Same plant efficiency at a different capacity."""
+        return CoolingSystem(
+            capacity_w=capacity_w,
+            coefficient_of_performance=self.coefficient_of_performance,
+        )

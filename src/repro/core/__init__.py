@@ -1,0 +1,39 @@
+"""Thermal time shifting: the paper's primary contribution.
+
+This package orchestrates the substrates (materials, server thermal
+models, DCSim, cooling, TCO) into the paper's two headline studies:
+
+* :class:`~repro.core.scenarios.CoolingLoadStudy` — Section 5.1: a fully
+  subscribed datacenter where PCM clips the peak cooling load, enabling a
+  smaller plant or more servers;
+* :class:`~repro.core.scenarios.ThroughputStudy` — Section 5.2: an
+  oversubscribed (thermally constrained) datacenter where PCM sustains
+  full clock speed for hours past the point where the baseline must
+  downclock.
+
+plus the melting-point selection the paper applies ("selected the melting
+temperature to minimize cooling load", Section 5.1) in
+:mod:`~repro.core.melting_point`.
+"""
+
+from repro.core.melting_point import (
+    MeltingPointSearch,
+    optimize_melting_point,
+)
+from repro.core.scenarios import (
+    CoolingLoadOutcome,
+    CoolingLoadStudy,
+    ThroughputArm,
+    ThroughputOutcome,
+    ThroughputStudy,
+)
+
+__all__ = [
+    "MeltingPointSearch",
+    "optimize_melting_point",
+    "CoolingLoadStudy",
+    "CoolingLoadOutcome",
+    "ThroughputStudy",
+    "ThroughputOutcome",
+    "ThroughputArm",
+]

@@ -1,0 +1,123 @@
+"""Melting-temperature selection (paper Section 5.1).
+
+"The range of melting temperature available in commercial grade paraffin
+allows us to select one with an optimal melting threshold to reduce the
+peak cooling load of each cluster, and the best melting temperature is
+determined on the shape and length of the load trace: for the Google
+trace, we find that the best wax typically begins to melt when a server
+exceeds 75% load."
+
+The search runs the (fast, fluid-mode) cluster simulation across a grid of
+candidate melting points and picks the one minimizing the two-day peak
+cooling load. The two-day horizon makes the daily-cycle constraint
+self-enforcing: wax that cannot refreeze overnight has no capacity left
+for day two, so its day-two peak is unclipped and the candidate scores
+poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.server.characterization import PlatformCharacterization
+from repro.server.power import ServerPowerModel
+from repro.workload.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class MeltingPointSearch:
+    """Result of a melting-point grid search."""
+
+    candidates_c: np.ndarray
+    peak_cooling_w: np.ndarray
+    baseline_peak_w: float
+    best_melting_point_c: float
+
+    @property
+    def best_peak_w(self) -> float:
+        """Peak cooling load at the winning melting point."""
+        return float(np.min(self.peak_cooling_w))
+
+    @property
+    def best_reduction_fraction(self) -> float:
+        """Fractional peak reduction at the winning melting point."""
+        return 1.0 - self.best_peak_w / self.baseline_peak_w
+
+
+def optimize_melting_point(
+    characterization: PlatformCharacterization,
+    power_model: ServerPowerModel,
+    trace: LoadTrace,
+    topology: ClusterTopology | None = None,
+    window_c: tuple[float, float] = (36.0, 60.0),
+    step_c: float = 0.5,
+    config: SimulationConfig | None = None,
+) -> MeltingPointSearch:
+    """Grid-search the wax melting point minimizing peak cooling load.
+
+    Parameters
+    ----------
+    window_c:
+        Candidate melting points (the commercial-paraffin market offers
+        roughly 40-60 degC; 36-40 covers measured off-spec blends like the
+        paper's 39 degC purchase).
+    step_c:
+        Grid resolution.
+    config:
+        Simulation configuration; defaults to fluid mode (the search runs
+        dozens of two-day simulations).
+    """
+    low, high = window_c
+    if not low < high:
+        raise ConfigurationError(f"melting window is inverted: [{low}, {high}]")
+    if step_c <= 0:
+        raise ConfigurationError(f"grid step must be positive, got {step_c}")
+    topology = topology or ClusterTopology()
+    config = config or SimulationConfig(mode="fluid")
+    if not config.wax_enabled:
+        raise ConfigurationError("melting-point search needs wax enabled")
+
+    baseline = DatacenterSimulator(
+        characterization,
+        power_model,
+        commercial_paraffin_with_melting_point(low),
+        trace,
+        topology=topology,
+        config=SimulationConfig(
+            mode=config.mode,
+            tick_interval_s=config.tick_interval_s,
+            slots_per_server=config.slots_per_server,
+            inlet_temperature_c=config.inlet_temperature_c,
+            wax_enabled=False,
+            seed=config.seed,
+        ),
+    ).run()
+    baseline_peak = baseline.peak_cooling_load_w
+
+    candidates = np.arange(low, high + 0.5 * step_c, step_c)
+    peaks = np.empty(len(candidates))
+    for i, melting_point in enumerate(candidates):
+        material = commercial_paraffin_with_melting_point(float(melting_point))
+        result = DatacenterSimulator(
+            characterization,
+            power_model,
+            material,
+            trace,
+            topology=topology,
+            config=config,
+        ).run()
+        peaks[i] = result.peak_cooling_load_w
+
+    best_index = int(np.argmin(peaks))
+    return MeltingPointSearch(
+        candidates_c=candidates,
+        peak_cooling_w=peaks,
+        baseline_peak_w=baseline_peak,
+        best_melting_point_c=float(candidates[best_index]),
+    )

@@ -1,0 +1,78 @@
+"""Cluster topology: servers grouped into racks.
+
+DCSim models work "at the server, rack, and cluster levels, then
+extrapolates the cluster model out for the whole datacenter". The topology
+object owns the server/rack indexing and the extrapolation factor from one
+simulated cluster to the full deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Server and rack structure of one simulated cluster.
+
+    Parameters
+    ----------
+    server_count:
+        Servers in the cluster (the paper simulates clusters of 1008).
+    servers_per_rack:
+        Rack density of the platform (40 1U, 20 2U, or 96 OCP blades per
+        rack position).
+    clusters_in_datacenter:
+        Number of identical clusters the datacenter holds; cluster-level
+        results are multiplied by this to report datacenter totals.
+    """
+
+    server_count: int = 1008
+    servers_per_rack: int = 42
+    clusters_in_datacenter: int = 1
+
+    def __post_init__(self) -> None:
+        if self.server_count <= 0:
+            raise ConfigurationError("server count must be positive")
+        if self.servers_per_rack <= 0:
+            raise ConfigurationError("servers per rack must be positive")
+        if self.clusters_in_datacenter <= 0:
+            raise ConfigurationError("cluster multiplier must be positive")
+
+    @property
+    def rack_count(self) -> int:
+        """Number of racks (last rack may be partial)."""
+        return -(-self.server_count // self.servers_per_rack)
+
+    @property
+    def datacenter_servers(self) -> int:
+        """Total servers across the whole datacenter."""
+        return self.server_count * self.clusters_in_datacenter
+
+    def rack_of(self, server_index: int) -> int:
+        """Rack index of a server."""
+        if not 0 <= server_index < self.server_count:
+            raise ConfigurationError(
+                f"server index {server_index} out of range "
+                f"[0, {self.server_count})"
+            )
+        return server_index // self.servers_per_rack
+
+    def rack_totals(self, per_server: np.ndarray) -> np.ndarray:
+        """Aggregate a per-server quantity to rack level."""
+        values = np.asarray(per_server)
+        if values.shape != (self.server_count,):
+            raise ConfigurationError(
+                f"expected shape ({self.server_count},), got {values.shape}"
+            )
+        racks = np.zeros(self.rack_count)
+        np.add.at(racks, np.arange(self.server_count) // self.servers_per_rack, values)
+        return racks
+
+    def extrapolate(self, cluster_total: float | np.ndarray) -> float | np.ndarray:
+        """Scale a cluster-level total to the full datacenter."""
+        return cluster_total * self.clusters_in_datacenter

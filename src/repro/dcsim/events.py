@@ -1,0 +1,70 @@
+"""Event primitives for the discrete-event simulator.
+
+A minimal, deterministic priority queue: events at equal times pop in
+insertion order (a monotonically increasing sequence number breaks ties),
+which keeps simulations reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the datacenter simulator processes."""
+
+    ARRIVAL = "arrival"
+    TICK = "tick"
+    END = "end"
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is (time, sequence); payload never participates in ordering.
+    """
+
+    time_s: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time_s: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for tests)."""
+        if not time_s >= 0:
+            raise SimulationError(f"event time must be non-negative, got {time_s}")
+        event = Event(
+            time_s=time_s, sequence=next(self._counter), kind=kind, payload=payload
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time_s

@@ -1,0 +1,282 @@
+"""Geographic load balancing between thermally constrained sites.
+
+The paper's Section 5.2 names two escape valves for an oversubscribed
+datacenter: "downclocking/DVFS or relocating work to other datacenters
+[18-20]". The main simulator implements the first; this module implements
+the second, so the two can be composed with PCM and compared.
+
+A :class:`GeoPair` couples two sites — typically the same platform in
+time zones several hours apart, so their diurnal peaks do not coincide —
+and runs them in lock-step fluid mode. Each tick:
+
+1. each site's throttling policy picks its operating point for its local
+   demand;
+2. work a site cannot serve (shed by its policy, or beyond its busy
+   ceiling) is *offered* to the other site;
+3. the receiving site accepts up to its spare busy capacity, provided its
+   own policy is not currently limiting it and the added heat still fits
+   under its plant capacity (relocated work must not push the remote room
+   over its limit — that would just move the problem);
+4. both rooms integrate their heat balance.
+
+Relocated work pays a WAN/latency tax: a configurable fraction of it is
+lost (request hedging, egress overheads), so relocation is not free the
+way locally-banked wax heat is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.room import RoomModel
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.dcsim.throttling import RoomTemperaturePolicy, projected_release_w
+from repro.errors import ConfigurationError
+from repro.materials.pcm import PCMMaterial
+from repro.server.characterization import PlatformCharacterization
+from repro.server.power import ServerPowerModel
+from repro.workload.trace import LoadTrace
+
+
+@dataclass
+class GeoSite:
+    """One datacenter of a geographically balanced pair."""
+
+    name: str
+    characterization: PlatformCharacterization
+    power_model: ServerPowerModel
+    material: PCMMaterial
+    trace: LoadTrace
+    room: RoomModel
+    topology: ClusterTopology
+    wax_enabled: bool = True
+    inlet_temperature_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        self.policy = RoomTemperaturePolicy(self.room)
+        self.state = self._make_state()
+
+    def _make_state(self) -> ClusterThermalState:
+        initial = float(np.clip(self.trace.value_at(0.0), 0.0, 1.0))
+        return ClusterThermalState(
+            characterization=self.characterization,
+            power_model=self.power_model,
+            material=self.material,
+            server_count=self.topology.server_count,
+            inlet_temperature_c=self.inlet_temperature_c,
+            initial_utilization=initial,
+            wax_enabled=self.wax_enabled,
+        )
+
+    def reset(self) -> None:
+        """Fresh thermal state, room, and policy latch."""
+        self.room.reset()
+        self.policy.reset()
+        self.state = self._make_state()
+
+
+@dataclass
+class GeoSiteTraces:
+    """Per-tick traces of one site in a geo-balanced run."""
+
+    times_s: np.ndarray
+    demand: np.ndarray
+    served_local: np.ndarray
+    accepted_remote: np.ndarray
+    relocated_out: np.ndarray
+    lost: np.ndarray
+    frequency_ghz: np.ndarray
+    room_temperature_c: np.ndarray
+    cooling_load_w: np.ndarray
+
+    @property
+    def throughput(self) -> np.ndarray:
+        """Work completed at this site (local + accepted remote)."""
+        return self.served_local + self.accepted_remote
+
+
+@dataclass
+class GeoResult:
+    """Outcome of a geo-balanced pair run."""
+
+    site_a: GeoSiteTraces
+    site_b: GeoSiteTraces
+
+    @property
+    def total_throughput(self) -> np.ndarray:
+        """Pair-wide completed work per tick (normalized per-site units)."""
+        return self.site_a.throughput + self.site_b.throughput
+
+    @property
+    def total_demand(self) -> np.ndarray:
+        """Pair-wide offered work per tick."""
+        return self.site_a.demand + self.site_b.demand
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of all offered work completed somewhere."""
+        demand = float(np.sum(self.total_demand))
+        if demand <= 0:
+            return 1.0
+        return float(np.sum(self.total_throughput)) / demand
+
+    @property
+    def relocated_fraction(self) -> float:
+        """Fraction of all offered work served at the remote site."""
+        demand = float(np.sum(self.total_demand))
+        if demand <= 0:
+            return 0.0
+        accepted = float(
+            np.sum(self.site_a.accepted_remote + self.site_b.accepted_remote)
+        )
+        return accepted / demand
+
+
+class GeoPair:
+    """Two thermally constrained sites balancing work between them."""
+
+    def __init__(
+        self,
+        site_a: GeoSite,
+        site_b: GeoSite,
+        tick_interval_s: float = 60.0,
+        relocation_loss_fraction: float = 0.05,
+    ) -> None:
+        if tick_interval_s <= 0:
+            raise ConfigurationError("tick interval must be positive")
+        if not 0.0 <= relocation_loss_fraction < 1.0:
+            raise ConfigurationError(
+                "relocation loss must be a fraction in [0, 1)"
+            )
+        if abs(site_a.trace.duration_s - site_b.trace.duration_s) > 1e-6:
+            raise ConfigurationError("site traces must share a horizon")
+        self.site_a = site_a
+        self.site_b = site_b
+        self.tick_interval_s = tick_interval_s
+        self.relocation_loss_fraction = relocation_loss_fraction
+
+    def _site_tick(
+        self, site: GeoSite, demand: float
+    ) -> tuple[float, float, float, object]:
+        """One site's local decision: (served, unserved, spare, decision)."""
+        n = site.topology.server_count
+        work = np.full(n, demand)
+        decision = site.policy.decide(site.state, work)
+        tf = site.power_model.throughput_factor(decision.frequency_ghz)
+        busy = min(demand / tf, 1.0, decision.utilization_cap)
+        served = busy * tf
+        unserved = max(demand - served, 0.0)
+
+        # Spare capacity this site could sell: extra busy fraction up to
+        # 1.0 (or its cap) while keeping the projected release under its
+        # own plant capacity — only meaningful when unthrottled.
+        spare = 0.0
+        if not decision.limited:
+            busy_ceiling = min(1.0, decision.utilization_cap)
+            headroom = max(busy_ceiling - busy, 0.0)
+            if headroom > 0:
+                # Bisect the largest extra busy fraction whose release fits.
+                lo, hi = 0.0, headroom
+                for _ in range(20):
+                    mid = 0.5 * (lo + hi)
+                    work_probe = np.full(n, (busy + mid) * tf)
+                    release = projected_release_w(
+                        site.state, work_probe, decision.frequency_ghz
+                    )
+                    if release <= site.room.cooling_capacity_w:
+                        lo = mid
+                    else:
+                        hi = mid
+                spare = lo * tf
+        return served, unserved, spare, decision
+
+    def run(self) -> GeoResult:
+        """Run both sites in lock step over the shared horizon."""
+        self.site_a.reset()
+        self.site_b.reset()
+        dt = self.tick_interval_s
+        horizon = self.site_a.trace.duration_s
+        n_ticks = int(np.floor(horizon / dt))
+        times = (np.arange(n_ticks) + 1) * dt
+
+        def blank() -> GeoSiteTraces:
+            zeros = np.zeros(n_ticks)
+            return GeoSiteTraces(
+                times_s=times,
+                demand=zeros.copy(),
+                served_local=zeros.copy(),
+                accepted_remote=zeros.copy(),
+                relocated_out=zeros.copy(),
+                lost=zeros.copy(),
+                frequency_ghz=zeros.copy(),
+                room_temperature_c=zeros.copy(),
+                cooling_load_w=zeros.copy(),
+            )
+
+        traces = {id(self.site_a): blank(), id(self.site_b): blank()}
+
+        for i, t in enumerate(times):
+            sites = (self.site_a, self.site_b)
+            demands = {
+                id(site): float(np.clip(site.trace.value_at(t - 0.5 * dt), 0, 1))
+                for site in sites
+            }
+            locals_ = {}
+            for site in sites:
+                # Server inlets track the room (wax engagement depends on
+                # this feedback, exactly as in the single-site simulator).
+                site.state.inlet_temperature_c = site.room.temperature_c
+                locals_[id(site)] = self._site_tick(site, demands[id(site)])
+
+            # Offer each site's unserved work to the other.
+            accepted = {id(site): 0.0 for site in sites}
+            relocated = {id(site): 0.0 for site in sites}
+            for sender, receiver in (
+                (self.site_a, self.site_b),
+                (self.site_b, self.site_a),
+            ):
+                _, unserved, _, _ = locals_[id(sender)]
+                _, _, spare, _ = locals_[id(receiver)]
+                if unserved > 0 and spare > 0:
+                    moved = min(unserved, spare)
+                    delivered = moved * (1.0 - self.relocation_loss_fraction)
+                    relocated[id(sender)] += moved
+                    accepted[id(receiver)] += delivered
+
+            # Advance each site's thermal state with its final busy level.
+            for site in sites:
+                served, unserved, _, decision = locals_[id(site)]
+                tf = site.power_model.throughput_factor(decision.frequency_ghz)
+                extra_busy = (
+                    accepted[id(site)]
+                    / (1.0 - self.relocation_loss_fraction)
+                    / tf
+                    if accepted[id(site)] > 0
+                    else 0.0
+                )
+                busy_total = min(served / tf + extra_busy, 1.0)
+                busy_vec = np.full(site.topology.server_count, busy_total)
+                power, release, _wax = site.state.step(
+                    dt, busy_vec, decision.frequency_ghz
+                )
+                release_total = float(np.sum(release))
+                site.room.step(dt, max(release_total, 0.0))
+
+                trace = traces[id(site)]
+                trace.demand[i] = demands[id(site)]
+                trace.served_local[i] = served
+                trace.accepted_remote[i] = accepted[id(site)]
+                trace.relocated_out[i] = relocated[id(site)]
+                trace.lost[i] = max(
+                    demands[id(site)] - served - relocated[id(site)], 0.0
+                ) + relocated[id(site)] * self.relocation_loss_fraction
+                trace.frequency_ghz[i] = decision.frequency_ghz
+                trace.room_temperature_c[i] = site.room.temperature_c
+                trace.cooling_load_w[i] = release_total
+
+        return GeoResult(
+            site_a=traces[id(self.site_a)], site_b=traces[id(self.site_b)]
+        )

@@ -1,0 +1,165 @@
+"""Mixed fleets: PCM-equipped and legacy servers sharing one plant.
+
+The paper's retrofit scenario (Section 5.1) replaces a datacenter's
+servers at their 4-year end of life while the cooling plant soldiers on.
+Real migrations are rolling, not atomic: for months the room holds a mix
+of wax-equipped new servers and wax-less old ones, all breathing the same
+cold aisle and drawing on the same plant.
+
+A :class:`MixedFleet` runs two server groups in lock step — same trace,
+same room — and reports the blended cooling load, so operators can ask
+the planning question the paper's endpoints bracket: *how much of the
+fleet must carry wax before the peak drops enough to matter?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.errors import ConfigurationError
+from repro.materials.pcm import PCMMaterial
+from repro.server.characterization import PlatformCharacterization
+from repro.server.power import ServerPowerModel
+from repro.workload.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class MixedFleetResult:
+    """Per-tick traces of a mixed-fleet run."""
+
+    times_s: np.ndarray
+    cooling_load_w: np.ndarray
+    equipped_cooling_load_w: np.ndarray
+    legacy_cooling_load_w: np.ndarray
+    power_w: np.ndarray
+    melt_fraction: np.ndarray
+
+    @property
+    def peak_cooling_load_w(self) -> float:
+        """Peak blended cooling load."""
+        return float(np.max(self.cooling_load_w))
+
+
+class MixedFleet:
+    """Two co-located server groups, with and without wax.
+
+    Both groups run the platform's characterization and power model; only
+    the wax differs. Utilization is applied uniformly (round-robin over a
+    homogeneous service pool spreads work evenly regardless of which
+    chassis carries wax — the dispatcher cannot see the wax).
+    """
+
+    def __init__(
+        self,
+        characterization: PlatformCharacterization,
+        power_model: ServerPowerModel,
+        material: PCMMaterial,
+        trace: LoadTrace,
+        total_servers: int,
+        equipped_fraction: float,
+        tick_interval_s: float = 60.0,
+        inlet_temperature_c: float = 25.0,
+    ) -> None:
+        if total_servers <= 0:
+            raise ConfigurationError("total servers must be positive")
+        if not 0.0 <= equipped_fraction <= 1.0:
+            raise ConfigurationError(
+                f"equipped fraction must be in [0, 1], got {equipped_fraction}"
+            )
+        if tick_interval_s <= 0:
+            raise ConfigurationError("tick interval must be positive")
+        self.characterization = characterization
+        self.power_model = power_model
+        self.material = material
+        self.trace = trace
+        self.total_servers = total_servers
+        self.equipped_count = int(round(equipped_fraction * total_servers))
+        self.legacy_count = total_servers - self.equipped_count
+        self.tick_interval_s = tick_interval_s
+        self.inlet_temperature_c = inlet_temperature_c
+
+    def _make_group(self, count: int, wax: bool) -> ClusterThermalState | None:
+        if count == 0:
+            return None
+        return ClusterThermalState(
+            characterization=self.characterization,
+            power_model=self.power_model,
+            material=self.material,
+            server_count=count,
+            inlet_temperature_c=self.inlet_temperature_c,
+            initial_utilization=float(
+                np.clip(self.trace.value_at(0.0), 0.0, 1.0)
+            ),
+            wax_enabled=wax,
+        )
+
+    def run(self) -> MixedFleetResult:
+        """Run both groups over the trace and blend their cooling loads."""
+        equipped = self._make_group(self.equipped_count, wax=True)
+        legacy = self._make_group(self.legacy_count, wax=False)
+        dt = self.tick_interval_s
+        n_ticks = int(np.floor(self.trace.duration_s / dt))
+        times = (np.arange(n_ticks) + 1) * dt
+
+        total = np.zeros(n_ticks)
+        equipped_load = np.zeros(n_ticks)
+        legacy_load = np.zeros(n_ticks)
+        power_total = np.zeros(n_ticks)
+        melt = np.zeros(n_ticks)
+
+        for i, t in enumerate(times):
+            demand = float(np.clip(self.trace.value_at(t - 0.5 * dt), 0, 1))
+            for group, load_trace in (
+                (equipped, equipped_load),
+                (legacy, legacy_load),
+            ):
+                if group is None:
+                    continue
+                busy = np.full(group.server_count, demand)
+                power, release, _ = group.step(dt, busy, 2.4)
+                load_trace[i] = float(np.sum(release))
+                power_total[i] += float(np.sum(power))
+            total[i] = equipped_load[i] + legacy_load[i]
+            if equipped is not None:
+                melt[i] = float(np.mean(equipped.melt_fraction))
+
+        return MixedFleetResult(
+            times_s=times,
+            cooling_load_w=total,
+            equipped_cooling_load_w=equipped_load,
+            legacy_cooling_load_w=legacy_load,
+            power_w=power_total,
+            melt_fraction=melt,
+        )
+
+
+def rollout_curve(
+    characterization: PlatformCharacterization,
+    power_model: ServerPowerModel,
+    material: PCMMaterial,
+    trace: LoadTrace,
+    total_servers: int = 1008,
+    fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> dict[float, float]:
+    """Peak-cooling reduction as the wax rollout progresses.
+
+    Returns equipped fraction -> fractional peak reduction relative to the
+    all-legacy fleet.
+    """
+    if not fractions:
+        raise ConfigurationError("need at least one rollout fraction")
+    baseline = MixedFleet(
+        characterization, power_model, material, trace,
+        total_servers=total_servers, equipped_fraction=0.0,
+    ).run().peak_cooling_load_w
+    curve: dict[float, float] = {}
+    for fraction in fractions:
+        peak = MixedFleet(
+            characterization, power_model, material, trace,
+            total_servers=total_servers, equipped_fraction=fraction,
+        ).run().peak_cooling_load_w
+        curve[float(fraction)] = 1.0 - peak / baseline
+    return curve

@@ -1,0 +1,100 @@
+"""Rack-level inlet heterogeneity.
+
+DCSim "models job arrival, load balancing, and work completion ... at the
+server, rack, and cluster levels". Real machine rooms are not isothermal:
+servers at the top of a rack ingest warmer air (stratification), racks at
+the row ends see recirculation around the aisle containment, and the
+result is a per-server spread of inlet temperatures of several degrees.
+
+For PCM this matters directly: a server with a hot inlet runs its wax
+zone closer to (or past) the melting threshold at all times, eroding both
+the refreeze margin overnight and the latent headroom at the peak. This
+module generates deterministic per-server inlet *offsets* from a rack
+topology so the cluster simulator can quantify that erosion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dcsim.cluster import ClusterTopology
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RackInletProfile:
+    """Parametric model of within-room inlet temperature variation.
+
+    Parameters
+    ----------
+    vertical_spread_c:
+        Top-of-rack minus bottom-of-rack inlet difference (stratification;
+        servers are assigned positions in rack order).
+    recirculation_c:
+        Extra offset applied to the racks at each end of the row (hot-air
+        recirculation around the containment).
+    recirculation_racks:
+        How many racks at each end of the row are affected.
+    jitter_c:
+        Per-server random component (seeded, deterministic) capturing
+        blanking-panel gaps and local leakage.
+    seed:
+        Seed of the jitter generator.
+    """
+
+    vertical_spread_c: float = 3.0
+    recirculation_c: float = 2.0
+    recirculation_racks: int = 1
+    jitter_c: float = 0.5
+    seed: int = 1207
+
+    def __post_init__(self) -> None:
+        if self.vertical_spread_c < 0:
+            raise ConfigurationError("vertical spread must be non-negative")
+        if self.recirculation_c < 0:
+            raise ConfigurationError("recirculation offset must be non-negative")
+        if self.recirculation_racks < 0:
+            raise ConfigurationError("recirculation rack count must be non-negative")
+        if self.jitter_c < 0:
+            raise ConfigurationError("jitter must be non-negative")
+
+    def offsets_c(self, topology: ClusterTopology) -> np.ndarray:
+        """Per-server inlet offsets, zero-mean in the vertical component.
+
+        The vertical term is centred so a zero-spread profile and a
+        spread profile have the same *mean* inlet — heterogeneity, not a
+        uniform shift, is what is being studied.
+        """
+        n = topology.server_count
+        indices = np.arange(n)
+        position_in_rack = indices % topology.servers_per_rack
+        rack = indices // topology.servers_per_rack
+
+        vertical = self.vertical_spread_c * (
+            position_in_rack / max(topology.servers_per_rack - 1, 1) - 0.5
+        )
+
+        recirculation = np.zeros(n)
+        if self.recirculation_racks > 0 and self.recirculation_c > 0:
+            last_rack = topology.rack_count - 1
+            affected = (rack < self.recirculation_racks) | (
+                rack > last_rack - self.recirculation_racks
+            )
+            recirculation[affected] = self.recirculation_c
+
+        rng = np.random.default_rng(self.seed)
+        jitter = rng.normal(0.0, self.jitter_c, n) if self.jitter_c > 0 else 0.0
+
+        return vertical + recirculation + jitter
+
+    def uniform(self) -> "RackInletProfile":
+        """The isothermal control profile (all offsets zero)."""
+        return RackInletProfile(
+            vertical_spread_c=0.0,
+            recirculation_c=0.0,
+            recirculation_racks=0,
+            jitter_c=0.0,
+            seed=self.seed,
+        )

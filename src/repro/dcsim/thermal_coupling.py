@@ -1,0 +1,212 @@
+"""Vectorized per-server thermal + wax state for a whole cluster.
+
+This is the cluster-scale form of
+:class:`repro.server.characterization.LumpedServerModel`: the same
+equations, evaluated with NumPy across every server at once, so a
+1008-server cluster ticking every simulated minute over two days costs a
+few thousand small array operations.
+
+Per tick and per server:
+
+1. wall power from the (utilization, frequency) operating point;
+2. the wax-zone air temperature relaxes toward the characterized steady
+   value at the effective utilization;
+3. the wax exchanges ``UA * (T_zone - T_wax)`` with the zone air, its
+   enthalpy integrating the flow (melting/refreezing by the enthalpy
+   method);
+4. heat release to the room = power - wax absorption rate.
+
+Servers without wax use the same object with ``wax_enabled=False`` (the
+exchange term is forced to zero), so with/without-PCM comparisons share
+every other code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.materials.pcm import PCMMaterial
+from repro.server.characterization import PlatformCharacterization
+from repro.server.power import ServerPowerModel
+
+
+def temperature_at_enthalpy_array(
+    material: PCMMaterial, specific_enthalpy_j_per_kg: np.ndarray
+) -> np.ndarray:
+    """Vectorized enthalpy -> temperature map (see ``PCMMaterial``)."""
+    h = np.asarray(specific_enthalpy_j_per_kg, dtype=float)
+    fusion = material.heat_of_fusion_j_per_kg
+    solid = material.solidus_c + h / material.specific_heat_solid_j_per_kg_k
+    mushy = material.solidus_c + (h / fusion) * material.melting_range_c
+    liquid = material.liquidus_c + (h - fusion) / (
+        material.specific_heat_liquid_j_per_kg_k
+    )
+    return np.where(h <= 0, solid, np.where(h >= fusion, liquid, mushy))
+
+
+def melt_fraction_array(
+    material: PCMMaterial, specific_enthalpy_j_per_kg: np.ndarray
+) -> np.ndarray:
+    """Vectorized melt fraction in [0, 1]."""
+    h = np.asarray(specific_enthalpy_j_per_kg, dtype=float)
+    return np.clip(h / material.heat_of_fusion_j_per_kg, 0.0, 1.0)
+
+
+def enthalpy_at_temperature_array(
+    material: PCMMaterial, temperature_c: np.ndarray
+) -> np.ndarray:
+    """Vectorized temperature -> enthalpy map (see ``PCMMaterial``)."""
+    t = np.asarray(temperature_c, dtype=float)
+    fusion = material.heat_of_fusion_j_per_kg
+    solid = (t - material.solidus_c) * material.specific_heat_solid_j_per_kg_k
+    mushy = (t - material.solidus_c) / material.melting_range_c * fusion
+    liquid = fusion + (t - material.liquidus_c) * (
+        material.specific_heat_liquid_j_per_kg_k
+    )
+    return np.where(
+        t <= material.solidus_c,
+        solid,
+        np.where(t >= material.liquidus_c, liquid, mushy),
+    )
+
+
+class ClusterThermalState:
+    """Mutable thermal state of every server in one cluster."""
+
+    def __init__(
+        self,
+        characterization: PlatformCharacterization,
+        power_model: ServerPowerModel,
+        material: PCMMaterial,
+        server_count: int,
+        inlet_temperature_c: float = 25.0,
+        initial_utilization: float = 0.0,
+        wax_enabled: bool = True,
+        inlet_offset_c: np.ndarray | None = None,
+    ) -> None:
+        if server_count <= 0:
+            raise ConfigurationError(
+                f"server count must be positive, got {server_count}"
+            )
+        self.characterization = characterization
+        self.power_model = power_model
+        self.material = material
+        self.server_count = server_count
+        self.inlet_temperature_c = inlet_temperature_c
+        self.wax_enabled = wax_enabled
+        self.wax_mass_kg = characterization.wax_mass_kg
+
+        if inlet_offset_c is None:
+            self.inlet_offset_c = np.zeros(server_count)
+        else:
+            offsets = np.asarray(inlet_offset_c, dtype=float)
+            if offsets.shape != (server_count,):
+                raise ConfigurationError(
+                    f"expected inlet offsets shape ({server_count},), got "
+                    f"{offsets.shape}"
+                )
+            self.inlet_offset_c = offsets
+
+        initial_delta = float(characterization.zone_delta_at(initial_utilization))
+        self.zone_temperature_c = (
+            inlet_temperature_c + self.inlet_offset_c + initial_delta
+        )
+        self.specific_enthalpy_j_per_kg = enthalpy_at_temperature_array(
+            material, self.zone_temperature_c
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def wax_temperature_c(self) -> np.ndarray:
+        """Per-server wax temperature."""
+        return temperature_at_enthalpy_array(
+            self.material, self.specific_enthalpy_j_per_kg
+        )
+
+    @property
+    def melt_fraction(self) -> np.ndarray:
+        """Per-server wax melt fraction."""
+        return melt_fraction_array(self.material, self.specific_enthalpy_j_per_kg)
+
+    @property
+    def stored_latent_heat_j(self) -> float:
+        """Cluster-total latent heat currently banked in the wax."""
+        return float(
+            np.sum(self.melt_fraction)
+            * self.wax_mass_kg
+            * self.material.heat_of_fusion_j_per_kg
+        )
+
+    def effective_utilization(
+        self, utilization: np.ndarray, frequency_ghz: float
+    ) -> np.ndarray:
+        """Power-equivalent utilization (folds in DVFS)."""
+        factor = self.power_model.frequency_factor(frequency_ghz)
+        return np.asarray(utilization) * factor
+
+    def power_w(self, utilization: np.ndarray, frequency_ghz: float) -> np.ndarray:
+        """Per-server wall power at an operating point."""
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        return self.power_model.idle_power_w + (
+            self.power_model.dynamic_range_w * u_eff
+        )
+
+    def wax_exchange_w(
+        self, utilization: np.ndarray, frequency_ghz: float
+    ) -> np.ndarray:
+        """Instantaneous air-to-wax heat flow at the *current* state,
+        without advancing it (used by throttling policies to preview what
+        the wax could absorb this tick)."""
+        if not self.wax_enabled:
+            return np.zeros(self.server_count)
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        ua = self.characterization.ua_at(u_eff)
+        return ua * (self.zone_temperature_c - self.wax_temperature_c)
+
+    # -- dynamics ------------------------------------------------------------
+
+    def step(
+        self,
+        dt_s: float,
+        utilization: np.ndarray,
+        frequency_ghz: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance one tick; returns (power_w, heat_release_w, wax_heat_w).
+
+        ``utilization`` is per-server busy fraction in [0, 1];
+        ``frequency_ghz`` is the cluster-wide DVFS state this tick.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"tick must be positive, got {dt_s}")
+        utilization = np.asarray(utilization, dtype=float)
+        if utilization.shape != (self.server_count,):
+            raise ConfigurationError(
+                f"expected utilization shape ({self.server_count},), got "
+                f"{utilization.shape}"
+            )
+        if np.any(utilization < -1e-9) or np.any(utilization > 1.0 + 1e-9):
+            raise ConfigurationError("utilization must lie in [0, 1]")
+
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        power = self.power_model.idle_power_w + (
+            self.power_model.dynamic_range_w * u_eff
+        )
+
+        target = (
+            self.inlet_temperature_c
+            + self.inlet_offset_c
+            + self.characterization.zone_delta_at(u_eff)
+        )
+        blend = 1.0 - np.exp(-dt_s / self.characterization.zone_time_constant_s)
+        self.zone_temperature_c += blend * (target - self.zone_temperature_c)
+
+        if self.wax_enabled:
+            ua = self.characterization.ua_at(u_eff)
+            wax_heat = ua * (self.zone_temperature_c - self.wax_temperature_c)
+            self.specific_enthalpy_j_per_kg += wax_heat * dt_s / self.wax_mass_kg
+        else:
+            wax_heat = np.zeros(self.server_count)
+
+        return power, power - wax_heat, wax_heat

@@ -1,0 +1,200 @@
+"""Thermal-limit enforcement policies (paper Section 5.2).
+
+In an oversubscribed datacenter "thermal management techniques such as
+downclocking/DVFS or relocating work to other datacenters must be applied
+to prevent the datacenter from overheating". The paper's baseline
+downclocks 2.4 GHz parts to 1.6 GHz when the cluster would exceed its
+thermal limit; with PCM, full clocks are held while the wax still has
+latent capacity to absorb the excess.
+
+A policy decides, at each thermal tick, the cluster-wide DVFS frequency
+and (if even the lowest frequency cannot satisfy the limit) a busy-
+fraction cap representing work relocation.
+
+Policies receive the per-server *offered work rate* in nominal capacity
+units; the busy fraction a server would run at follows from the candidate
+frequency (downclocking raises the busy fraction needed to serve the same
+work): ``busy(f) = min(work / throughput_factor(f), 1)``. Decisions
+preview the tick using the current thermal state and do not mutate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dcsim.room import RoomModel
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThrottleDecision:
+    """The operating point a policy selects for one tick.
+
+    ``utilization_cap`` limits per-server busy fraction (1.0 = no cap);
+    the simulator applies it by relocating (shedding) the excess work.
+    """
+
+    frequency_ghz: float
+    utilization_cap: float = 1.0
+    limited: bool = False
+
+
+def busy_fraction(
+    state: ClusterThermalState, work_rate: np.ndarray, frequency_ghz: float
+) -> np.ndarray:
+    """Per-server busy fraction needed to serve a work rate at a frequency."""
+    factor = state.power_model.throughput_factor(frequency_ghz)
+    return np.clip(np.asarray(work_rate) / factor, 0.0, 1.0)
+
+
+def projected_release_w(
+    state: ClusterThermalState, work_rate: np.ndarray, frequency_ghz: float
+) -> float:
+    """Cluster heat release this tick at a candidate operating point.
+
+    Wax absorption counts against the release while it is absorbing; a
+    refreezing wax adds heat, which the preview must include.
+    """
+    busy = busy_fraction(state, work_rate, frequency_ghz)
+    power = state.power_w(busy, frequency_ghz)
+    wax = state.wax_exchange_w(busy, frequency_ghz)
+    return float(np.sum(power - wax))
+
+
+def _shed_cap(
+    state: ClusterThermalState,
+    work_rate: np.ndarray,
+    frequency_ghz: float,
+    capacity_w: float,
+) -> float:
+    """Busy-fraction cap bringing the min-frequency release under a limit.
+
+    Release is monotonic in a uniform scale on the busy fractions, so the
+    cap is found by bisection.
+    """
+    busy = busy_fraction(state, work_rate, frequency_ghz)
+
+    def release(scale: float) -> float:
+        scaled = busy * scale
+        power = state.power_w(scaled, frequency_ghz)
+        wax = state.wax_exchange_w(scaled, frequency_ghz)
+        return float(np.sum(power - wax))
+
+    low, high = 0.0, 1.0
+    for _ in range(40):
+        mid = 0.5 * (low + high)
+        if release(mid) <= capacity_w:
+            low = mid
+        else:
+            high = mid
+    return low * float(np.max(busy)) if len(busy) else 0.0
+
+
+class NoThermalLimit:
+    """Unconstrained datacenter: always nominal frequency, no cap."""
+
+    def decide(
+        self, state: ClusterThermalState, work_rate: np.ndarray
+    ) -> ThrottleDecision:
+        """Run at nominal frequency regardless of heat output."""
+        return ThrottleDecision(
+            frequency_ghz=state.power_model.nominal_frequency_ghz
+        )
+
+
+class ThermalLimitPolicy:
+    """Enforce an instantaneous cluster heat-release limit.
+
+    A memoryless policy: intervene whenever this tick's projected release
+    would exceed the plant capacity. Suits studies without a room model;
+    the temperature-based :class:`RoomTemperaturePolicy` is the faithful
+    Section 5.2 mechanism.
+    """
+
+    def __init__(self, capacity_w: float, tolerance: float = 0.002) -> None:
+        if capacity_w <= 0:
+            raise ConfigurationError(
+                f"cooling capacity must be positive, got {capacity_w}"
+            )
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.capacity_w = capacity_w
+        self.tolerance = tolerance
+
+    def decide(
+        self, state: ClusterThermalState, work_rate: np.ndarray
+    ) -> ThrottleDecision:
+        """Pick the least-intrusive operating point under the limit:
+        full clocks, else the minimum DVFS state, else shed work."""
+        limit = self.capacity_w * (1.0 + self.tolerance)
+        nominal = state.power_model.nominal_frequency_ghz
+        minimum = state.power_model.min_frequency_ghz
+
+        if projected_release_w(state, work_rate, nominal) <= limit:
+            return ThrottleDecision(frequency_ghz=nominal)
+        if projected_release_w(state, work_rate, minimum) <= limit:
+            return ThrottleDecision(frequency_ghz=minimum, limited=True)
+        cap = _shed_cap(state, work_rate, minimum, limit)
+        return ThrottleDecision(
+            frequency_ghz=minimum, utilization_cap=cap, limited=True
+        )
+
+
+class RoomTemperaturePolicy:
+    """Throttle on the *room* temperature of an oversubscribed datacenter.
+
+    The paper's constrained scenario intervenes when the datacenter would
+    overheat, i.e. on temperature, not instantaneous power: the room's
+    thermal mass rides through brief overloads, and the wax holds the room
+    down for hours. The room also closes the loop that drives the wax at
+    the surplus rate — as it warms, the server inlets (and therefore the
+    wax zones) warm with it until wax absorption balances the excess.
+
+    While over-limit, the cluster downclocks to its minimum DVFS state; if
+    even that releases more heat than the plant can remove (so the room
+    would keep heating), work is shed until the release fits the plant
+    capacity. The throttle latches: it releases only once the room has
+    cooled by ``deadband_c`` AND full clocks would fit the plant again,
+    preventing flapping around the limit.
+    """
+
+    def __init__(self, room: RoomModel, deadband_c: float = 1.0) -> None:
+        if deadband_c < 0:
+            raise ConfigurationError("deadband must be non-negative")
+        self.room = room
+        self.deadband_c = deadband_c
+        self._throttled = False
+
+    def reset(self) -> None:
+        """Clear the hysteresis latch between simulation runs."""
+        self._throttled = False
+
+    def decide(
+        self, state: ClusterThermalState, work_rate: np.ndarray
+    ) -> ThrottleDecision:
+        """Nominal clocks until the room hits its limit; then downclock
+        (and shed if the plant still cannot keep up)."""
+        room = self.room
+        nominal = state.power_model.nominal_frequency_ghz
+        minimum = state.power_model.min_frequency_ghz
+        capacity = room.cooling_capacity_w
+
+        if not self._throttled and room.over_limit:
+            self._throttled = True
+        elif self._throttled and (
+            room.temperature_c <= room.max_temperature_c - self.deadband_c
+            and projected_release_w(state, work_rate, nominal) <= capacity
+        ):
+            self._throttled = False
+
+        if not self._throttled:
+            return ThrottleDecision(frequency_ghz=nominal)
+        if projected_release_w(state, work_rate, minimum) <= capacity:
+            return ThrottleDecision(frequency_ghz=minimum, limited=True)
+        cap = _shed_cap(state, work_rate, minimum, capacity)
+        return ThrottleDecision(
+            frequency_ghz=minimum, utilization_cap=cap, limited=True
+        )

@@ -1,0 +1,20 @@
+"""Experiment registry: one module per table and figure of the paper.
+
+Every experiment exposes ``run(quick=False) -> ExperimentResult`` with the
+rows/series the paper reports; ``repro-experiments <id>`` runs one from
+the command line and prints its tables.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiment_ids,
+    main,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiment_ids",
+    "run_experiment",
+    "main",
+]

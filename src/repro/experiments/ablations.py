@@ -1,0 +1,272 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **Wax volume** — peak cooling-load reduction as deployed liters scale
+  from 0.25x to 2x of the paper's configuration (the paper: "peak load
+  reduction and savings correlate to the quantity of wax").
+* **Melting point sensitivity** — peak reduction across the commercial
+  window (the core of the paper's melting-threshold selection).
+* **Heat of fusion** — commercial paraffin (200 J/g) vs eicosane-grade
+  (247 J/g): what the 50x price premium would buy.
+* **Load balancing policy** — round-robin (paper) vs least-loaded in
+  event mode: homogeneous clusters make the thermal outcome insensitive.
+* **DVFS power exponent** — how the constrained-datacenter gain depends
+  on how power scales with the downclock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.melting_point import optimize_melting_point
+from repro.core.scenarios import ThroughputStudy, cached_characterization
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.loadbalancer import LeastLoaded, RoundRobin
+from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+from repro.experiments.registry import ExperimentResult
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.server.configs import one_u_commodity
+from repro.workload.google import synthesize_google_trace
+
+
+def _peak_reduction(characterization, power_model, material, trace, topology) -> float:
+    def simulate(wax: bool) -> float:
+        return (
+            DatacenterSimulator(
+                characterization,
+                power_model,
+                material,
+                trace,
+                topology=topology,
+                config=SimulationConfig(mode="fluid", wax_enabled=wax),
+            )
+            .run()
+            .peak_cooling_load_w
+        )
+
+    return 1.0 - simulate(True) / simulate(False)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Run all ablations on the 1U platform."""
+    spec = one_u_commodity()
+    characterization = cached_characterization(spec)
+    trace = synthesize_google_trace().total
+    topology = ClusterTopology(server_count=1008)
+    material = commercial_paraffin_with_melting_point(43.0)
+
+    result = ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations (1U platform)",
+    )
+
+    # -- wax volume --------------------------------------------------------
+    # The melting point is re-optimized per volume, as the paper does: a
+    # bigger reservoir wants a later (higher) melting threshold so its
+    # repayment lands overnight instead of on the evening shoulder.
+    scales = (0.5, 1.0, 2.0) if quick else (0.25, 0.5, 1.0, 1.5, 2.0)
+    volume_rows = []
+    reductions = []
+    for scale in scales:
+        # Exchange area grows with volume^(2/3): the chassis footprint is
+        # fixed, so more wax means thicker boxes, not proportionally more
+        # surface.
+        ua_scale = scale ** (2.0 / 3.0)
+        scaled = dataclasses.replace(
+            characterization,
+            wax_mass_kg=characterization.wax_mass_kg * scale,
+            wax_volume_m3=characterization.wax_volume_m3 * scale,
+            wax_ua_w_per_k=tuple(
+                ua * ua_scale for ua in characterization.wax_ua_w_per_k
+            ),
+        )
+        search = optimize_melting_point(
+            scaled,
+            spec.power_model,
+            trace,
+            topology=topology,
+            window_c=(40.0, 50.0),
+            step_c=1.0,
+        )
+        reduction = search.best_reduction_fraction
+        reductions.append(reduction)
+        volume_rows.append(
+            [
+                f"{scale:.2f}x ({scale * 1.2:.1f} L)",
+                f"{search.best_melting_point_c:.0f}",
+                f"{reduction:.1%}",
+            ]
+        )
+    result.tables["wax volume vs peak reduction"] = (
+        ["deployed wax", "best melt (C)", "peak cooling reduction"],
+        volume_rows,
+    )
+    # The paper observes savings grow with wax quantity; our sweep agrees
+    # up to the deployed volume, then finds a knee: beyond it, the
+    # refreeze repayment lands on the evening shoulder and erodes the
+    # clipped peak — the deployed 1.2 L sits near the optimum.
+    deployed_index = scales.index(1.0)
+    up_to_deployed = reductions[: deployed_index + 1]
+    result.summary["reduction_monotonic_up_to_deployed"] = float(
+        all(b >= a - 1e-6 for a, b in zip(up_to_deployed, up_to_deployed[1:]))
+    )
+    result.summary["deployed_volume_near_knee"] = float(
+        reductions[deployed_index] >= max(reductions) - 1e-6
+    )
+    result.paper["reduction_monotonic_up_to_deployed"] = 1.0
+
+    # -- melting point sensitivity -----------------------------------------
+    step = 2.0 if quick else 1.0
+    search = optimize_melting_point(
+        characterization,
+        spec.power_model,
+        trace,
+        topology=topology,
+        window_c=(38.0, 56.0),
+        step_c=step,
+    )
+    melt_rows = [
+        [f"{temp:.1f}", f"{1.0 - peak / search.baseline_peak_w:.1%}"]
+        for temp, peak in zip(search.candidates_c, search.peak_cooling_w)
+    ]
+    result.tables["melting point vs peak reduction"] = (
+        ["melting point (C)", "peak cooling reduction"],
+        melt_rows,
+    )
+    result.summary["best_melting_point_c"] = search.best_melting_point_c
+    result.summary["best_reduction"] = search.best_reduction_fraction
+
+    # -- heat of fusion ----------------------------------------------------
+    premium = dataclasses.replace(
+        material, name="eicosane-grade blend", heat_of_fusion_j_per_kg=247_000.0
+    )
+    commercial_reduction = _peak_reduction(
+        characterization, spec.power_model, material, trace, topology
+    )
+    premium_reduction = _peak_reduction(
+        characterization, spec.power_model, premium, trace, topology
+    )
+    result.tables["heat of fusion"] = (
+        ["material", "heat of fusion", "peak reduction"],
+        [
+            ["commercial paraffin", "200 J/g", f"{commercial_reduction:.1%}"],
+            ["eicosane-grade", "247 J/g", f"{premium_reduction:.1%}"],
+        ],
+    )
+    result.summary["premium_wax_extra_reduction"] = (
+        premium_reduction - commercial_reduction
+    )
+
+    # -- load balancing policy (event mode, small cluster) -------------------
+    event_servers = 32 if quick else 96
+    event_topology = ClusterTopology(server_count=event_servers)
+    lb_rows = []
+    lb_peaks = {}
+    for label, balancer in (("round-robin", RoundRobin()), ("least-loaded", LeastLoaded())):
+        sim = DatacenterSimulator(
+            characterization,
+            spec.power_model,
+            material,
+            trace,
+            topology=event_topology,
+            load_balancer=balancer,
+            config=SimulationConfig(mode="event", wax_enabled=True),
+        )
+        run_result = sim.run()
+        lb_peaks[label] = run_result.peak_cooling_load_w
+        lb_rows.append(
+            [
+                label,
+                f"{run_result.peak_cooling_load_w / event_servers:.1f}",
+                f"{float(np.mean(run_result.utilization)):.3f}",
+            ]
+        )
+    result.tables["load balancing policy (event mode)"] = (
+        ["policy", "peak cooling W/server", "mean utilization"],
+        lb_rows,
+    )
+    result.summary["lb_policy_peak_difference"] = abs(
+        lb_peaks["round-robin"] - lb_peaks["least-loaded"]
+    ) / lb_peaks["round-robin"]
+
+    # -- DVFS power exponent -------------------------------------------------
+    exponents = (1.0, 2.2) if quick else (1.0, 1.5, 2.2, 3.0)
+    dvfs_rows = []
+    for alpha in exponents:
+        power_model = dataclasses.replace(spec.power_model, dvfs_exponent=alpha)
+        study = ThroughputStudy(
+            dataclasses.replace(spec, chassis=spec.chassis),
+            trace,
+            oversubscription=0.836,
+            material=commercial_paraffin_with_melting_point(45.0),
+        )
+        # Swap the power model by running the arms manually through the
+        # study's machinery: rebuild with a modified spec power model.
+        study.spec = dataclasses.replace(
+            spec,
+            chassis=dataclasses.replace(spec.chassis, power_model=power_model),
+        )
+        outcome = study.run()
+        throttled = outcome.no_wax.result.throttled_mask()
+        plateau = (
+            float(np.max(outcome.no_wax.normalized_throughput[throttled]))
+            if np.any(throttled)
+            else float("nan")
+        )
+        dvfs_rows.append(
+            [
+                f"{alpha:.1f}",
+                f"+{outcome.peak_throughput_gain:.0%}",
+                f"{outcome.elevated_hours:.1f}h",
+                f"{plateau:.2f}",
+            ]
+        )
+    result.tables["DVFS power exponent (constrained scenario)"] = (
+        ["exponent", "peak gain", "elevated hours", "throttled ceiling"],
+        dvfs_rows,
+    )
+
+    # -- inlet heterogeneity (rack stratification / recirculation) ----------
+    from repro.dcsim.rack_thermals import RackInletProfile
+
+    spreads = (0.0, 4.0) if quick else (0.0, 2.0, 4.0, 6.0)
+    hetero_rows = []
+    hetero_reductions = []
+    for spread in spreads:
+        profile = RackInletProfile(
+            vertical_spread_c=spread,
+            recirculation_c=spread / 2.0,
+            jitter_c=spread / 10.0 if spread > 0 else 0.0,
+        )
+        offsets = profile.offsets_c(topology)
+
+        def run_arm(wax: bool) -> float:
+            return (
+                DatacenterSimulator(
+                    characterization,
+                    spec.power_model,
+                    material,
+                    trace,
+                    topology=topology,
+                    inlet_offsets_c=offsets,
+                    config=SimulationConfig(mode="fluid", wax_enabled=wax),
+                )
+                .run()
+                .peak_cooling_load_w
+            )
+
+        reduction = 1.0 - run_arm(True) / run_arm(False)
+        hetero_reductions.append(reduction)
+        hetero_rows.append([f"{spread:.0f} degC", f"{reduction:.1%}"])
+    result.tables["inlet heterogeneity vs peak reduction"] = (
+        ["rack inlet spread", "peak cooling reduction"],
+        hetero_rows,
+    )
+    # Hot servers lose refreeze margin; cold servers melt late: spread
+    # erodes the benefit relative to the isothermal room.
+    result.summary["heterogeneity_erosion"] = (
+        hetero_reductions[0] - hetero_reductions[-1]
+    )
+
+    return result

@@ -1,0 +1,70 @@
+"""Export experiment results to plottable files.
+
+Writes each experiment's figure series to CSV (one file per experiment,
+columns aligned on the longest series), its summary/paper comparison to
+JSON, and its rendered tables to a text file — everything an external
+plotting pipeline needs to redraw the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import ExperimentResult
+
+
+def export_result(result: ExperimentResult, output_dir: str | Path) -> list[Path]:
+    """Write one experiment's artifacts; returns the files written."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    if result.series:
+        csv_path = directory / f"{result.experiment_id}_series.csv"
+        names = list(result.series)
+        length = max(len(np.atleast_1d(result.series[n])) for n in names)
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for row_index in range(length):
+                row = []
+                for name in names:
+                    values = np.atleast_1d(result.series[name])
+                    row.append(
+                        float(values[row_index])
+                        if row_index < len(values)
+                        else ""
+                    )
+                writer.writerow(row)
+        written.append(csv_path)
+
+    summary_path = directory / f"{result.experiment_id}_summary.json"
+    with open(summary_path, "w") as handle:
+        json.dump(
+            {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "summary": {k: float(v) for k, v in result.summary.items()},
+                "paper": {k: float(v) for k, v in result.paper.items()},
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+    written.append(summary_path)
+
+    if result.tables:
+        tables_path = directory / f"{result.experiment_id}_tables.txt"
+        tables_path.write_text(result.render() + "\n")
+        written.append(tables_path)
+
+    if not written:
+        raise ExperimentError(
+            f"experiment {result.experiment_id!r} produced nothing to export"
+        )
+    return written

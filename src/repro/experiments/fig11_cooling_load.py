@@ -1,0 +1,114 @@
+"""Figure 11 and Section 5.1: PCM to reduce cooling load.
+
+For each platform: run the fully-subscribed cluster over the two-day
+Google trace without and with (melting-point-optimized) PCM, and reduce
+the traces to the paper's headline numbers —
+
+* peak cooling-load reduction: 8.9% (1U), 12% (2U), 8.3% (OCP);
+* wax repayment tail "lasting between six and nine hours", completing
+  within the 24 h cycle;
+* additional servers under the same plant: +9.8% / +14.6% / +8.9%;
+* annual cooling-system savings: $187k / $254k / $174k;
+* retrofit savings: $3.0M / $3.2M / $3.1M per year.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenarios import CoolingLoadStudy
+from repro.experiments.registry import ExperimentResult
+from repro.server.configs import PLATFORM_BUILDERS
+from repro.tco.params import platform_tco_parameters
+from repro.tco.scenarios import retrofit_savings, smaller_cooling_savings
+from repro.workload.google import synthesize_google_trace
+
+#: Paper headline values per platform.
+PAPER_PEAK_REDUCTION = {"1u": 0.089, "2u": 0.12, "ocp": 0.083}
+PAPER_FLEET_GROWTH = {"1u": 0.098, "2u": 0.146, "ocp": 0.089}
+PAPER_COOLING_SAVINGS_USD = {"1u": 187_000.0, "2u": 254_000.0, "ocp": 174_000.0}
+PAPER_RETROFIT_USD = {"1u": 3.0e6, "2u": 3.2e6, "ocp": 3.1e6}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Run the Section 5.1 study for every platform."""
+    trace = synthesize_google_trace().total
+    window = (38.0, 56.0) if quick else (36.0, 60.0)
+    step = 2.0 if quick else 0.5
+
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Cooling load per cluster with and without PCM",
+    )
+    rows = []
+    for platform, build in PLATFORM_BUILDERS.items():
+        spec = build()
+        outcome = CoolingLoadStudy(
+            spec,
+            trace,
+            melting_window_c=window,
+            melting_step_c=step,
+        ).run()
+
+        reduction = outcome.peak_reduction_fraction
+        growth = outcome.provisioning.fleet_growth_fraction
+        cooling = smaller_cooling_savings(reduction)
+        params = platform_tco_parameters(platform)
+        retrofit = retrofit_savings(
+            growth,
+            server_count=spec.datacenter_servers,
+            wax_capex_usd_per_server_month=params.wax_capex_usd_per_server,
+        )
+
+        result.series[f"{platform}_hours"] = outcome.baseline.times_hours
+        result.series[f"{platform}_cooling_load_w"] = (
+            outcome.baseline.cooling_load_w
+        )
+        result.series[f"{platform}_load_with_pcm_w"] = (
+            outcome.with_pcm.cooling_load_w
+        )
+
+        rows.append(
+            [
+                spec.name,
+                f"{outcome.material.melting_point_c:.1f}",
+                f"{reduction:.1%}",
+                f"{PAPER_PEAK_REDUCTION[platform]:.1%}",
+                f"{outcome.comparison.repayment_hours:.1f}h",
+                f"+{outcome.provisioning.additional_servers * (spec.datacenter_servers // 1008)}",
+                f"${cooling.annual_savings_usd/1e3:.0f}k",
+                f"${retrofit.annual_savings_usd/1e6:.2f}M",
+            ]
+        )
+        result.summary[f"{platform}_peak_reduction"] = reduction
+        result.summary[f"{platform}_fleet_growth"] = growth
+        result.summary[f"{platform}_repayment_hours"] = (
+            outcome.comparison.repayment_hours
+        )
+        result.summary[f"{platform}_cooling_savings_usd"] = (
+            cooling.annual_savings_usd
+        )
+        result.summary[f"{platform}_retrofit_savings_usd"] = (
+            retrofit.annual_savings_usd
+        )
+        result.paper[f"{platform}_peak_reduction"] = PAPER_PEAK_REDUCTION[platform]
+        result.paper[f"{platform}_fleet_growth"] = PAPER_FLEET_GROWTH[platform]
+        result.paper[f"{platform}_cooling_savings_usd"] = (
+            PAPER_COOLING_SAVINGS_USD[platform]
+        )
+        result.paper[f"{platform}_retrofit_savings_usd"] = PAPER_RETROFIT_USD[
+            platform
+        ]
+
+    result.tables["Fig 11 / Section 5.1 headline results"] = (
+        [
+            "platform",
+            "best melt (C)",
+            "peak reduction",
+            "paper",
+            "repayment",
+            "extra servers (10MW)",
+            "cooling savings/yr",
+            "retrofit savings/yr",
+        ],
+        rows,
+    )
+    return result

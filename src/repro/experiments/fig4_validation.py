@@ -1,0 +1,59 @@
+"""Figure 4: model validation against the (reference) real server.
+
+Runs the four-arm protocol of Section 3 — {real, model} x {wax, placebo}
+over 1 h idle + 12 h load + 12 h idle — and reports the transient traces
+(Fig 4a/4b), the steady-state sensor comparison (Fig 4c; the paper's mean
+difference is 0.22 degC), and the durations of the wax's visible melt /
+refreeze effect (the paper observes roughly two hours of each).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+from repro.validation.harness import run_validation
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Run the Figure 4 validation and collect its traces and stats."""
+    interval = 300.0 if quick else 120.0
+    report = run_validation(output_interval_s=interval)
+
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Model validation: transient traces and steady state",
+    )
+    times_h = report.arm("real", True).result.times_hours
+    result.series["hours"] = times_h
+    for source in ("real", "model"):
+        for wax in (True, False):
+            arm = report.arm(source, wax)
+            label = f"{source}_{'wax' if wax else 'placebo'}"
+            result.series[f"near_box_{label}"] = arm.sensor_traces["near_box"]
+            result.series[f"outlet_{label}"] = arm.sensor_traces["outlet"]
+
+    rows = [
+        [
+            name,
+            f"{report.steady_state_real_c[name]:.2f}",
+            f"{report.steady_state_model_c[name]:.2f}",
+            f"{report.steady_state_model_c[name] - report.steady_state_real_c[name]:+.2f}",
+        ]
+        for name in report.steady_state_real_c
+    ]
+    result.tables["Fig 4c: steady state, real vs model (degC)"] = (
+        ["sensor", "real", "model", "difference"],
+        rows,
+    )
+    result.summary = {
+        "steady_mean_abs_difference_c": report.steady_mean_abs_difference_c,
+        "heating_correlation": report.heating_comparison.correlation,
+        "cooling_correlation": report.cooling_comparison.correlation,
+        "wax_melt_effect_hours": report.wax_melt_effect_hours,
+        "wax_freeze_effect_hours": report.wax_freeze_effect_hours,
+    }
+    result.paper = {
+        "steady_mean_abs_difference_c": 0.22,
+        "wax_melt_effect_hours": 2.0,
+        "wax_freeze_effect_hours": 2.0,
+    }
+    return result

@@ -1,0 +1,125 @@
+"""Experiment result type, registry, and command-line entry point."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment.
+
+    ``tables`` maps a caption to (headers, rows); ``series`` maps a series
+    name to an array (figure data); ``summary`` maps a short metric name
+    to its measured value, with ``paper`` recording the value the paper
+    reports for the same metric where one exists.
+    """
+
+    experiment_id: str
+    title: str
+    tables: dict[str, tuple[list[str], list[list[object]]]] = field(
+        default_factory=dict
+    )
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    summary: dict[str, float] = field(default_factory=dict)
+    paper: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable report of the experiment."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for caption, (headers, rows) in self.tables.items():
+            parts.append(format_table(headers, rows, title=caption))
+        if self.summary:
+            rows = []
+            for name, value in self.summary.items():
+                paper_value = self.paper.get(name)
+                rows.append(
+                    [
+                        name,
+                        f"{value:.4g}",
+                        "-" if paper_value is None else f"{paper_value:.4g}",
+                    ]
+                )
+            parts.append(
+                format_table(
+                    ["metric", "measured", "paper"], rows, title="Summary"
+                )
+            )
+        return "\n\n".join(parts)
+
+
+#: Experiment id -> implementing module (each has run(quick=False)).
+_REGISTRY: dict[str, str] = {
+    "table1": "repro.experiments.table1_pcm_properties",
+    "table2": "repro.experiments.table2_tco_params",
+    "fig1": "repro.experiments.fig1_concept",
+    "fig4": "repro.experiments.fig4_validation",
+    "fig7": "repro.experiments.fig7_blockage",
+    "fig9": "repro.experiments.fig9_ocp_layouts",
+    "fig10": "repro.experiments.fig10_workload",
+    "fig11": "repro.experiments.fig11_cooling_load",
+    "fig12": "repro.experiments.fig12_throughput",
+    "ablations": "repro.experiments.ablations",
+    "extensions": "repro.experiments.extensions",
+}
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return list(_REGISTRY)
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        module_name = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{all_experiment_ids()}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run(quick=quick)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: run and print experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps for a fast smoke run",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also export series CSVs, summary JSONs, and rendered tables",
+    )
+    args = parser.parse_args(argv)
+    ids = args.experiments or all_experiment_ids()
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=args.quick)
+        print(result.render())
+        print()
+        if args.output_dir:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.output_dir):
+                print(f"wrote {path}")
+    return 0

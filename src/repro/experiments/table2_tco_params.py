@@ -1,0 +1,85 @@
+"""Table 2: TCO model parameters and the Equation 1 evaluation.
+
+Regenerates the per-platform parameter table and evaluates Equation 1 for
+each platform's 10 MW datacenter, confirming the paper's structural claim
+that WaxCapEx "represent[s] less than 0.1% of the ServerCapEx".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+from repro.server.configs import platform_by_name
+from repro.tco.model import monthly_tco
+from repro.tco.params import platform_tco_parameters
+
+PLATFORMS = ("1u", "2u", "ocp")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Render Table 2 and the Eq. 1 totals for each 10 MW datacenter."""
+    param_rows = []
+    tco_rows = []
+    wax_ratio = {}
+    for name in PLATFORMS:
+        params = platform_tco_parameters(name)
+        spec = platform_by_name(name)
+        param_rows.append(
+            [
+                name,
+                f"{params.power_infra_capex_usd_per_kw:.1f}",
+                f"{params.cooling_infra_capex_usd_per_kw:.1f}",
+                f"{params.server_capex_usd_per_server:.1f}",
+                f"{params.wax_capex_usd_per_server:.2f}",
+                f"{params.server_interest_usd_per_server:.2f}",
+                f"{params.server_energy_opex_usd_per_kw:.1f}",
+                f"{params.cooling_energy_opex_usd_per_kw:.1f}",
+            ]
+        )
+        breakdown = monthly_tco(
+            params,
+            critical_power_kw=10_000.0,
+            server_count=spec.datacenter_servers,
+            with_wax=True,
+        )
+        tco_rows.append(
+            [
+                name,
+                spec.datacenter_servers,
+                f"${breakdown.total_usd_per_month/1e6:.2f}M",
+                f"${breakdown.cooling_usd_per_month/1e3:.0f}k",
+                f"${breakdown.wax_capex/1e3:.2f}k",
+            ]
+        )
+        wax_ratio[name] = breakdown.wax_capex / breakdown.server_capex
+
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Parameters used to model TCO (Table 2) and Eq. 1 totals",
+    )
+    result.tables["Table 2 (per-platform instantiation, $/month)"] = (
+        [
+            "platform",
+            "PowerInfra/kW",
+            "CoolingInfra/kW",
+            "ServerCapEx/srv",
+            "WaxCapEx/srv",
+            "ServerInterest/srv",
+            "ServerEnergy/kW",
+            "CoolingEnergy/kW",
+        ],
+        param_rows,
+    )
+    result.tables["Equation 1 monthly TCO of each 10 MW datacenter"] = (
+        ["platform", "servers", "TCO/month", "cooling/month", "wax/month"],
+        tco_rows,
+    )
+    result.summary = {
+        f"wax_share_of_server_capex_{name}": wax_ratio[name]
+        for name in PLATFORMS
+    }
+    result.paper = {
+        # "less than 0.1% of the ServerCapEx"
+        f"wax_share_of_server_capex_{name}": 0.001
+        for name in PLATFORMS
+    }
+    return result

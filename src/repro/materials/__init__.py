@@ -1,0 +1,54 @@
+"""Phase change material (PCM) models.
+
+This package provides:
+
+* :class:`~repro.materials.pcm.PCMMaterial` — thermophysical description of
+  a phase change material with an enthalpy-method temperature/enthalpy map.
+* :mod:`~repro.materials.library` — the candidate materials the paper
+  surveys in Table 1, including eicosane and commercial-grade paraffin.
+* :mod:`~repro.materials.selection` — the suitability screening and scoring
+  the paper applies in Section 2.1.
+* :mod:`~repro.materials.cost` — bulk wax pricing and per-server WaxCapEx.
+"""
+
+from repro.materials.pcm import PCMMaterial, PCMSample, PhaseState
+from repro.materials.library import (
+    COMMERCIAL_PARAFFIN,
+    EICOSANE,
+    MATERIAL_CLASSES,
+    MaterialClass,
+    Stability,
+    commercial_paraffin_with_melting_point,
+)
+from repro.materials.selection import (
+    DatacenterRequirements,
+    SelectionReport,
+    screen_material,
+    select_material,
+)
+from repro.materials.cost import WaxCostModel
+from repro.materials.degradation import (
+    DegradationModel,
+    LifetimeAssessment,
+    assess_lifetime,
+)
+
+__all__ = [
+    "DegradationModel",
+    "LifetimeAssessment",
+    "assess_lifetime",
+    "PCMMaterial",
+    "PCMSample",
+    "PhaseState",
+    "MaterialClass",
+    "Stability",
+    "MATERIAL_CLASSES",
+    "EICOSANE",
+    "COMMERCIAL_PARAFFIN",
+    "commercial_paraffin_with_melting_point",
+    "DatacenterRequirements",
+    "SelectionReport",
+    "screen_material",
+    "select_material",
+    "WaxCostModel",
+]

@@ -1,0 +1,93 @@
+"""Bulk wax cost model (paper Sections 2.1 and 4.3).
+
+Two cost facts drive the paper's material choice and TCO accounting:
+
+* eicosane n-paraffin: $75,000/ton (Sigma-Aldrich mass-production quote) —
+  "even in a relatively small datacenter the cost of equipping every server
+  with eicosane would be over a million dollars in wax costs alone";
+* commercial-grade paraffin: $1,000-2,000/ton bulk — 50x cheaper for 20%
+  lower energy per gram.
+
+The TCO model amortizes WaxCapEx (wax + aluminum containers) into the
+server capital expenditure; Table 2 lists it at $0.06-0.10/server/month,
+"less than 0.1% of the ServerCapEx".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.materials.pcm import PCMMaterial
+from repro.units import KG_PER_METRIC_TON, to_liters
+
+
+@dataclass(frozen=True)
+class WaxCostModel:
+    """Costs of equipping servers with contained PCM.
+
+    Parameters
+    ----------
+    container_cost_usd_per_liter:
+        Cost of sealed aluminum containment per liter of wax capacity.
+    amortization_months:
+        Months over which WaxCapEx is amortized (the paper amortizes server
+        CapEx over a 4-year server lifespan).
+    """
+
+    container_cost_usd_per_liter: float = 2.0
+    amortization_months: int = 48
+
+    def __post_init__(self) -> None:
+        if self.container_cost_usd_per_liter < 0:
+            raise ConfigurationError("container cost must be non-negative")
+        if self.amortization_months <= 0:
+            raise ConfigurationError("amortization period must be positive")
+
+    def wax_cost_usd(self, material: PCMMaterial, volume_m3: float) -> float:
+        """Material cost of a solid-fill volume of wax."""
+        if material.cost_usd_per_tonne is None:
+            raise ConfigurationError(
+                f"{material.name} has no quoted bulk cost; cannot price it"
+            )
+        mass_kg = material.mass_for_volume(volume_m3)
+        return material.cost_usd_per_tonne * mass_kg / KG_PER_METRIC_TON
+
+    def container_cost_usd(self, volume_m3: float) -> float:
+        """Cost of the aluminum containment for a wax volume."""
+        return self.container_cost_usd_per_liter * to_liters(volume_m3)
+
+    def capex_per_server_usd(
+        self, material: PCMMaterial, volume_m3_per_server: float
+    ) -> float:
+        """One-time wax + container cost per server."""
+        return self.wax_cost_usd(material, volume_m3_per_server) + (
+            self.container_cost_usd(volume_m3_per_server)
+        )
+
+    def monthly_capex_per_server_usd(
+        self, material: PCMMaterial, volume_m3_per_server: float
+    ) -> float:
+        """Amortized monthly WaxCapEx per server (Table 2's $0.06-0.10)."""
+        return (
+            self.capex_per_server_usd(material, volume_m3_per_server)
+            / self.amortization_months
+        )
+
+    def datacenter_wax_cost_usd(
+        self,
+        material: PCMMaterial,
+        volume_m3_per_server: float,
+        server_count: int,
+    ) -> float:
+        """Total wax+container bill for a whole deployment.
+
+        Used to reproduce the paper's eicosane-vs-commercial comparison:
+        equipping every server of a modest datacenter with eicosane exceeds
+        $1M in wax alone, while commercial paraffin is tens of thousands.
+        """
+        if server_count < 0:
+            raise ConfigurationError("server count must be non-negative")
+        return server_count * self.capex_per_server_usd(
+            material, volume_m3_per_server
+        )

@@ -1,0 +1,288 @@
+"""Thermophysical model of a phase change material (enthalpy method).
+
+The paper integrates PCM into servers and relies on the latent heat of the
+solid-liquid transition to absorb energy at a roughly constant temperature.
+The standard numerical treatment (used by Icepak itself) is the *enthalpy
+method*: the conserved state variable is specific enthalpy ``h`` and the
+temperature is recovered through a piecewise-linear ``T(h)`` map:
+
+* below the solidus, ``h`` is sensible heat of the solid phase;
+* between solidus and liquidus, ``h`` traverses the latent heat of fusion
+  while temperature moves only across the (narrow) melting range — for a
+  molecularly pure paraffin such as eicosane this range is a fraction of a
+  degree, while commercial-grade paraffin is a mixture and melts over a few
+  degrees;
+* above the liquidus, ``h`` is sensible heat of the liquid phase.
+
+Using enthalpy as the state variable keeps the energy balance exact across
+the phase transition and makes melt fraction a simple affine function of
+``h``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class PhaseState(enum.Enum):
+    """Discrete phase classification of a PCM sample."""
+
+    SOLID = "solid"
+    MELTING = "melting"
+    LIQUID = "liquid"
+
+
+@dataclass(frozen=True)
+class PCMMaterial:
+    """Thermophysical properties of a phase change material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable material name.
+    melting_point_c:
+        Nominal melting temperature in degrees Celsius. The melting interval
+        is centred on this value.
+    heat_of_fusion_j_per_kg:
+        Latent heat of the solid-liquid transition, J/kg.
+    density_solid_kg_per_m3 / density_liquid_kg_per_m3:
+        Phase densities. Volumetric energy density uses the *solid* density
+        because containers are filled with solid wax (with headspace for
+        expansion, per the paper's 90 ml wax + 10 ml airspace).
+    specific_heat_solid_j_per_kg_k / specific_heat_liquid_j_per_kg_k:
+        Sensible heats of each phase.
+    melting_range_c:
+        Width of the melting interval in degrees Celsius. Must be positive;
+        pure substances use a small but non-zero width for numerical
+        regularity.
+    thermal_conductivity_w_per_m_k:
+        Bulk conductivity of the material (paraffins are poor conductors,
+        ~0.2 W/(m K); the paper notes multi-container surface area, rather
+        than embedded metal mesh, is the economic way to speed melting).
+    cost_usd_per_tonne:
+        Bulk price per metric ton, if known (None otherwise).
+    """
+
+    name: str
+    melting_point_c: float
+    heat_of_fusion_j_per_kg: float
+    density_solid_kg_per_m3: float
+    density_liquid_kg_per_m3: float
+    specific_heat_solid_j_per_kg_k: float = 2100.0
+    specific_heat_liquid_j_per_kg_k: float = 2200.0
+    melting_range_c: float = 2.0
+    thermal_conductivity_w_per_m_k: float = 0.21
+    cost_usd_per_tonne: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heat_of_fusion_j_per_kg <= 0:
+            raise ConfigurationError(
+                f"{self.name}: heat of fusion must be positive, got "
+                f"{self.heat_of_fusion_j_per_kg}"
+            )
+        if self.density_solid_kg_per_m3 <= 0 or self.density_liquid_kg_per_m3 <= 0:
+            raise ConfigurationError(f"{self.name}: densities must be positive")
+        if self.specific_heat_solid_j_per_kg_k <= 0:
+            raise ConfigurationError(f"{self.name}: solid specific heat must be positive")
+        if self.specific_heat_liquid_j_per_kg_k <= 0:
+            raise ConfigurationError(f"{self.name}: liquid specific heat must be positive")
+        if self.melting_range_c <= 0:
+            raise ConfigurationError(
+                f"{self.name}: melting range must be positive (use a small "
+                f"value for pure substances), got {self.melting_range_c}"
+            )
+
+    # -- derived temperatures ------------------------------------------------
+
+    @property
+    def solidus_c(self) -> float:
+        """Temperature below which the material is fully solid."""
+        return self.melting_point_c - 0.5 * self.melting_range_c
+
+    @property
+    def liquidus_c(self) -> float:
+        """Temperature above which the material is fully liquid."""
+        return self.melting_point_c + 0.5 * self.melting_range_c
+
+    # -- derived energy quantities -------------------------------------------
+
+    @property
+    def volumetric_latent_heat_j_per_m3(self) -> float:
+        """Latent heat per cubic meter of (solid) material."""
+        return self.heat_of_fusion_j_per_kg * self.density_solid_kg_per_m3
+
+    def mass_for_volume(self, volume_m3: float) -> float:
+        """Mass in kg of a given solid-fill volume."""
+        if volume_m3 < 0:
+            raise ConfigurationError(f"volume must be non-negative, got {volume_m3}")
+        return volume_m3 * self.density_solid_kg_per_m3
+
+    def latent_capacity_j(self, volume_m3: float) -> float:
+        """Total latent storage (J) of a given solid-fill volume."""
+        return self.mass_for_volume(volume_m3) * self.heat_of_fusion_j_per_kg
+
+    # -- enthalpy method -----------------------------------------------------
+    #
+    # Specific enthalpy datum: h = 0 at the solidus. Negative h is subcooled
+    # solid; h in [0, L] is the mushy zone; h > L is superheated liquid.
+
+    def enthalpy_at_temperature(self, temperature_c: float) -> float:
+        """Specific enthalpy (J/kg) at a temperature, taking the solid branch
+        below the solidus and the liquid branch above the liquidus.
+
+        Inside the melting interval the map ``T(h)`` is not invertible to a
+        single enthalpy; this function returns the enthalpy consistent with
+        the local melt fraction implied by linear interpolation across the
+        interval (the standard mushy-zone closure).
+        """
+        if temperature_c <= self.solidus_c:
+            return (temperature_c - self.solidus_c) * self.specific_heat_solid_j_per_kg_k
+        if temperature_c >= self.liquidus_c:
+            return (
+                self.heat_of_fusion_j_per_kg
+                + (temperature_c - self.liquidus_c) * self.specific_heat_liquid_j_per_kg_k
+            )
+        fraction = (temperature_c - self.solidus_c) / self.melting_range_c
+        return fraction * self.heat_of_fusion_j_per_kg
+
+    def temperature_at_enthalpy(self, enthalpy_j_per_kg: float) -> float:
+        """Temperature (degC) for a specific enthalpy (J/kg)."""
+        if enthalpy_j_per_kg <= 0:
+            return self.solidus_c + enthalpy_j_per_kg / self.specific_heat_solid_j_per_kg_k
+        if enthalpy_j_per_kg >= self.heat_of_fusion_j_per_kg:
+            excess = enthalpy_j_per_kg - self.heat_of_fusion_j_per_kg
+            return self.liquidus_c + excess / self.specific_heat_liquid_j_per_kg_k
+        fraction = enthalpy_j_per_kg / self.heat_of_fusion_j_per_kg
+        return self.solidus_c + fraction * self.melting_range_c
+
+    def melt_fraction_at_enthalpy(self, enthalpy_j_per_kg: float) -> float:
+        """Liquid mass fraction in [0, 1] at a specific enthalpy."""
+        if enthalpy_j_per_kg <= 0:
+            return 0.0
+        if enthalpy_j_per_kg >= self.heat_of_fusion_j_per_kg:
+            return 1.0
+        return enthalpy_j_per_kg / self.heat_of_fusion_j_per_kg
+
+    def effective_specific_heat(self, enthalpy_j_per_kg: float) -> float:
+        """dh/dT at an enthalpy state (J/(kg K)); large in the mushy zone.
+
+        This is the apparent-heat-capacity view of the enthalpy method and is
+        what makes PCM a powerful thermal buffer: within the melting interval
+        the material behaves like a substance with an enormous specific heat.
+        """
+        if enthalpy_j_per_kg < 0:
+            return self.specific_heat_solid_j_per_kg_k
+        if enthalpy_j_per_kg > self.heat_of_fusion_j_per_kg:
+            return self.specific_heat_liquid_j_per_kg_k
+        return self.heat_of_fusion_j_per_kg / self.melting_range_c
+
+
+@dataclass
+class PCMSample:
+    """A concrete quantity of a PCM material with mutable thermal state.
+
+    The sample tracks total enthalpy ``H = m * h`` in joules. It is the unit
+    of PCM bookkeeping used by both the detailed chassis thermal model and
+    the lumped per-server model inside the datacenter simulator.
+    """
+
+    material: PCMMaterial
+    mass_kg: float
+    enthalpy_j: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ConfigurationError(f"sample mass must be positive, got {self.mass_kg}")
+        if not math.isfinite(self.enthalpy_j):
+            raise ConfigurationError("sample enthalpy must be finite")
+
+    @classmethod
+    def from_volume(
+        cls,
+        material: PCMMaterial,
+        volume_m3: float,
+        initial_temperature_c: float | None = None,
+    ) -> "PCMSample":
+        """Create a sample from a solid-fill volume, optionally equilibrated
+        to an initial temperature."""
+        mass = material.mass_for_volume(volume_m3)
+        sample = cls(material=material, mass_kg=mass)
+        if initial_temperature_c is not None:
+            sample.set_temperature(initial_temperature_c)
+        return sample
+
+    # -- state queries ---------------------------------------------------------
+
+    @property
+    def specific_enthalpy_j_per_kg(self) -> float:
+        """Per-kilogram enthalpy of the sample."""
+        return self.enthalpy_j / self.mass_kg
+
+    @property
+    def temperature_c(self) -> float:
+        """Sample temperature implied by the enthalpy state."""
+        return self.material.temperature_at_enthalpy(self.specific_enthalpy_j_per_kg)
+
+    @property
+    def melt_fraction(self) -> float:
+        """Liquid mass fraction in [0, 1]."""
+        return self.material.melt_fraction_at_enthalpy(self.specific_enthalpy_j_per_kg)
+
+    @property
+    def phase(self) -> PhaseState:
+        """Discrete phase classification."""
+        fraction = self.melt_fraction
+        if fraction <= 0.0:
+            return PhaseState.SOLID
+        if fraction >= 1.0:
+            return PhaseState.LIQUID
+        return PhaseState.MELTING
+
+    @property
+    def latent_capacity_j(self) -> float:
+        """Total latent heat the sample can absorb from fully solid."""
+        return self.mass_kg * self.material.heat_of_fusion_j_per_kg
+
+    @property
+    def remaining_latent_capacity_j(self) -> float:
+        """Latent heat the sample can still absorb before fully melting."""
+        return (1.0 - self.melt_fraction) * self.latent_capacity_j
+
+    @property
+    def stored_latent_heat_j(self) -> float:
+        """Latent heat currently stored (what resolidifying would release)."""
+        return self.melt_fraction * self.latent_capacity_j
+
+    def heat_capacity_j_per_k(self) -> float:
+        """Apparent heat capacity (J/K) at the current state."""
+        return self.mass_kg * self.material.effective_specific_heat(
+            self.specific_enthalpy_j_per_kg
+        )
+
+    # -- state mutation ----------------------------------------------------------
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Equilibrate the sample to a temperature.
+
+        Inside the melting interval this sets the melt fraction implied by
+        the mushy-zone interpolation.
+        """
+        self.enthalpy_j = self.mass_kg * self.material.enthalpy_at_temperature(
+            temperature_c
+        )
+
+    def add_heat(self, heat_j: float) -> None:
+        """Add (or with a negative argument, remove) heat from the sample."""
+        if not math.isfinite(heat_j):
+            raise ConfigurationError("heat added to a PCM sample must be finite")
+        self.enthalpy_j += heat_j
+
+    def copy(self) -> "PCMSample":
+        """Independent copy of the sample (same material object)."""
+        return PCMSample(
+            material=self.material, mass_kg=self.mass_kg, enthalpy_j=self.enthalpy_j
+        )

@@ -1,0 +1,210 @@
+"""PCM suitability screening and selection (paper Section 2.1).
+
+The paper evaluates candidate PCMs against datacenter requirements:
+
+* melting temperature between the idle and peak internal air temperatures
+  (the paper states "usually between 30 to 60 degC");
+* high energy density (heat of fusion x density) to maximize storage in the
+  small free volume inside a server;
+* stability over thousands of melt/freeze cycles (one cycle per day for a
+  multi-year deployment);
+* non-corrosive and electrically non-conductive, to limit damage if the
+  containment leaks;
+* acceptable bulk cost at thousands-of-servers volume.
+
+:func:`screen_material` applies these as hard pass/fail criteria to a
+:class:`~repro.materials.library.MaterialClass`;
+:func:`select_material` reproduces the paper's conclusion by screening all
+of Table 1 and ranking survivors on energy density per dollar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.materials.library import (
+    COMMERCIAL_PARAFFINS,
+    MATERIAL_CLASSES,
+    Conductivity,
+    MaterialClass,
+    Stability,
+)
+
+
+@dataclass(frozen=True)
+class DatacenterRequirements:
+    """Hard requirements a PCM must meet for datacenter deployment.
+
+    Defaults encode the paper's stated criteria: a 30-60 degC melting
+    window, daily cycling over a four-year server lifespan (~1,500 cycles,
+    which paraffin's >1,000-cycle stability satisfies), no corrosion risk,
+    no electrical conduction risk, and a bulk budget of a few thousand
+    dollars per ton.
+    """
+
+    melting_window_c: tuple[float, float] = (30.0, 60.0)
+    min_stability: Stability = Stability.GOOD
+    allow_corrosive: bool = False
+    allow_conductive: bool = False
+    max_cost_usd_per_tonne: float | None = 5_000.0
+
+    def __post_init__(self) -> None:
+        low, high = self.melting_window_c
+        if low >= high:
+            raise ConfigurationError(
+                f"melting window is inverted: [{low}, {high}]"
+            )
+
+
+@dataclass
+class ScreeningResult:
+    """Outcome of screening one material class against requirements."""
+
+    material_class: MaterialClass
+    passed: bool
+    failures: list[str] = field(default_factory=list)
+    #: Volumetric energy density in J/ml at class-midpoint properties.
+    energy_density_j_per_ml: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Name of the screened material class."""
+        return self.material_class.name
+
+
+@dataclass
+class SelectionReport:
+    """Full screening of a candidate list plus the selected winner."""
+
+    requirements: DatacenterRequirements
+    results: list[ScreeningResult]
+    selected: MaterialClass | None
+
+    def result_for(self, name: str) -> ScreeningResult:
+        """Look up the screening result for a material class by name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    @property
+    def survivors(self) -> list[ScreeningResult]:
+        """Results that passed every hard requirement."""
+        return [result for result in self.results if result.passed]
+
+
+def _midpoint_energy_density_j_per_ml(material_class: MaterialClass) -> float:
+    """Volumetric latent heat (J/ml) at the midpoint of the class ranges."""
+    fusion_j_per_g = 0.5 * sum(material_class.heat_of_fusion_range_j_per_g)
+    density_g_per_ml = 0.5 * sum(material_class.density_range_g_per_ml)
+    return fusion_j_per_g * density_g_per_ml
+
+
+def screen_material(
+    material_class: MaterialClass,
+    requirements: DatacenterRequirements | None = None,
+    cost_usd_per_tonne: float | None = None,
+) -> ScreeningResult:
+    """Apply the paper's hard criteria to one material class.
+
+    Parameters
+    ----------
+    material_class:
+        The Table 1 row to screen.
+    requirements:
+        Deployment requirements; defaults to the paper's.
+    cost_usd_per_tonne:
+        Bulk cost of the class, if known. ``None`` skips the cost screen
+        (the paper treats unknown cost as a research question, not a veto,
+        for classes that already fail other criteria).
+    """
+    requirements = requirements or DatacenterRequirements()
+    failures: list[str] = []
+
+    low, high = requirements.melting_window_c
+    if not material_class.melting_temp_overlaps(low, high):
+        failures.append(
+            f"melting temperature {material_class.melting_temp_range_c} degC "
+            f"outside datacenter window [{low}, {high}] degC"
+        )
+    if material_class.stability.value < requirements.min_stability.value:
+        failures.append(
+            f"cycling stability {material_class.stability.name} below "
+            f"required {requirements.min_stability.name}"
+        )
+    if material_class.corrosive and not requirements.allow_corrosive:
+        failures.append("corrosive on leakage")
+    if (
+        material_class.electrical_conductivity is Conductivity.HIGH
+        and not requirements.allow_conductive
+    ):
+        failures.append("electrically conductive on leakage")
+    if (
+        cost_usd_per_tonne is not None
+        and requirements.max_cost_usd_per_tonne is not None
+        and cost_usd_per_tonne > requirements.max_cost_usd_per_tonne
+    ):
+        failures.append(
+            f"bulk cost ${cost_usd_per_tonne:,.0f}/ton exceeds budget "
+            f"${requirements.max_cost_usd_per_tonne:,.0f}/ton"
+        )
+
+    return ScreeningResult(
+        material_class=material_class,
+        passed=not failures,
+        failures=failures,
+        energy_density_j_per_ml=_midpoint_energy_density_j_per_ml(material_class),
+    )
+
+
+#: Bulk costs known to the paper, $/metric ton. Only paraffin classes have
+#: quoted prices; eicosane's quote is used for the n-paraffin class.
+KNOWN_CLASS_COSTS_USD_PER_TONNE: dict[str, float] = {
+    "n-Paraffins": 75_000.0,
+    "Commercial Paraffins": 1_500.0,
+}
+
+
+def select_material(
+    requirements: DatacenterRequirements | None = None,
+    candidates: tuple[MaterialClass, ...] = MATERIAL_CLASSES,
+) -> SelectionReport:
+    """Screen all candidates and select the best survivor.
+
+    Survivors are ranked by volumetric energy density; with the paper's
+    default requirements the sole survivor is commercial-grade paraffin,
+    matching the paper's Section 2.1 conclusion (n-paraffins pass every
+    physical screen but fail on cost).
+    """
+    requirements = requirements or DatacenterRequirements()
+    results = [
+        screen_material(
+            material_class,
+            requirements,
+            cost_usd_per_tonne=KNOWN_CLASS_COSTS_USD_PER_TONNE.get(
+                material_class.name
+            ),
+        )
+        for material_class in candidates
+    ]
+    survivors = [result for result in results if result.passed]
+    selected: MaterialClass | None = None
+    if survivors:
+        selected = max(
+            survivors, key=lambda result: result.energy_density_j_per_ml
+        ).material_class
+    return SelectionReport(
+        requirements=requirements, results=results, selected=selected
+    )
+
+
+def paper_selection() -> MaterialClass:
+    """The paper's pick under its own requirements (commercial paraffin)."""
+    report = select_material()
+    if report.selected is not COMMERCIAL_PARAFFINS:
+        raise ConfigurationError(
+            "selection under paper defaults no longer yields commercial "
+            "paraffin; library data or screening logic has drifted"
+        )
+    return COMMERCIAL_PARAFFINS

@@ -1,0 +1,29 @@
+"""Computational sprinting: the chip-scale PCM application (Section 6).
+
+The paper positions thermal time shifting against computational sprinting
+(Raghavan et al.): "While that work uses PCM in small quantities to
+reshape the load without impacting thermals, we take the opposite
+approach ... we study PCM deployment on a datacenter scale to consider
+thermal time shifting over periods lasting several hours, compared to
+seconds or fractions of seconds in the computational sprinting approach."
+
+This package builds the sprinting configuration on the same thermal
+substrate — a die + heat spreader + on-package PCM stack with a
+dark-silicon-constrained sustainable cooling path — so the two regimes
+can be compared quantitatively: grams vs liters of wax, seconds vs hours
+of buffering, eicosane vs commercial paraffin economics.
+"""
+
+from repro.sprinting.model import (
+    SprintChip,
+    SprintResult,
+    run_sprint,
+    sprint_extension_ratio,
+)
+
+__all__ = [
+    "SprintChip",
+    "SprintResult",
+    "run_sprint",
+    "sprint_extension_ratio",
+]

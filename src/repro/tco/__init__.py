@@ -1,0 +1,50 @@
+"""Total cost of ownership modeling (paper Section 4.3, Table 2, Eq. 1).
+
+The TCO model follows Kontorinis et al. as modified by the paper: monthly
+capital expenditures (facility space, UPS, power infrastructure, cooling
+infrastructure, rest), datacenter and server interest, server + wax CapEx,
+and operating expenditures (datacenter, server energy, server power,
+cooling energy, rest). Cooling terms are isolated so the PCM scenarios can
+price a smaller plant, extra servers, the retrofit case, and the
+thermally-constrained TCO-efficiency comparison.
+"""
+
+from repro.tco.params import TCOParameters, platform_tco_parameters
+from repro.tco.model import TCOBreakdown, monthly_tco
+from repro.tco.scenarios import (
+    RetrofitSavings,
+    SmallerCoolingSavings,
+    TCOEfficiency,
+    retrofit_savings,
+    smaller_cooling_savings,
+    tco_efficiency,
+)
+from repro.tco.energy import (
+    AmbientAwarePlant,
+    AmbientProfile,
+    CoolingEnergyCost,
+    ElectricityTariff,
+    EnergyShiftComparison,
+    compare_energy_shift,
+    cooling_energy_cost,
+)
+
+__all__ = [
+    "ElectricityTariff",
+    "AmbientProfile",
+    "AmbientAwarePlant",
+    "CoolingEnergyCost",
+    "EnergyShiftComparison",
+    "cooling_energy_cost",
+    "compare_energy_shift",
+    "TCOParameters",
+    "platform_tco_parameters",
+    "TCOBreakdown",
+    "monthly_tco",
+    "SmallerCoolingSavings",
+    "smaller_cooling_savings",
+    "RetrofitSavings",
+    "retrofit_savings",
+    "TCOEfficiency",
+    "tco_efficiency",
+]

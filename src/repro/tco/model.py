@@ -1,0 +1,164 @@
+"""Equation 1: the monthly TCO of a datacenter deployment.
+
+    TCO = FacilitySpaceCapEx + UPSCapEx + PowerInfraCapEx
+        + CoolingInfraCapEx + RestCapEx + DCInterest
+        + (ServerCapEx + WaxCapEx) + ServerInterest
+        + DatacenterOpEx + ServerEnergyOpEx + ServerPowerOpEx
+        + CoolingEnergyOpEx + RestOpEx
+
+Per-kW terms multiply the datacenter critical power; per-server terms the
+fleet size; facility space the floor area. Cooling terms scale with the
+*provisioned cooling capacity* relative to critical power, which is how
+the PCM scenarios monetize a smaller plant: "we assume a linear
+relationship between the cost of cooling infrastructure and the peak
+cooling load the cooling system can handle".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tco.params import TCOParameters
+
+
+@dataclass(frozen=True)
+class TCOBreakdown:
+    """Itemized monthly TCO in dollars."""
+
+    facility_space_capex: float
+    ups_capex: float
+    power_infra_capex: float
+    cooling_infra_capex: float
+    rest_capex: float
+    dc_interest: float
+    server_capex: float
+    wax_capex: float
+    server_interest: float
+    datacenter_opex: float
+    server_energy_opex: float
+    server_power_opex: float
+    cooling_energy_opex: float
+    rest_opex: float
+
+    @property
+    def total_usd_per_month(self) -> float:
+        """Equation 1's sum."""
+        return (
+            self.facility_space_capex
+            + self.ups_capex
+            + self.power_infra_capex
+            + self.cooling_infra_capex
+            + self.rest_capex
+            + self.dc_interest
+            + self.server_capex
+            + self.wax_capex
+            + self.server_interest
+            + self.datacenter_opex
+            + self.server_energy_opex
+            + self.server_power_opex
+            + self.cooling_energy_opex
+            + self.rest_opex
+        )
+
+    @property
+    def total_usd_per_year(self) -> float:
+        """Annualized total."""
+        return 12.0 * self.total_usd_per_month
+
+    @property
+    def cooling_usd_per_month(self) -> float:
+        """The isolated thermal-control cost (plant CapEx + its energy)."""
+        return self.cooling_infra_capex + self.cooling_energy_opex
+
+    def as_dict(self) -> dict[str, float]:
+        """Line items as a name -> dollars mapping (stable order)."""
+        return {
+            "FacilitySpaceCapEx": self.facility_space_capex,
+            "UPSCapEx": self.ups_capex,
+            "PowerInfraCapEx": self.power_infra_capex,
+            "CoolingInfraCapEx": self.cooling_infra_capex,
+            "RestCapEx": self.rest_capex,
+            "DCInterest": self.dc_interest,
+            "ServerCapEx": self.server_capex,
+            "WaxCapEx": self.wax_capex,
+            "ServerInterest": self.server_interest,
+            "DatacenterOpEx": self.datacenter_opex,
+            "ServerEnergyOpEx": self.server_energy_opex,
+            "ServerPowerOpEx": self.server_power_opex,
+            "CoolingEnergyOpEx": self.cooling_energy_opex,
+            "RestOpEx": self.rest_opex,
+        }
+
+
+def monthly_tco(
+    params: TCOParameters,
+    critical_power_kw: float,
+    server_count: int,
+    with_wax: bool = False,
+    cooling_capacity_fraction: float = 1.0,
+    utilization_of_energy: float = 1.0,
+) -> TCOBreakdown:
+    """Evaluate Equation 1 for a deployment.
+
+    Parameters
+    ----------
+    critical_power_kw:
+        Datacenter critical power (the paper evaluates 10 MW).
+    server_count:
+        Fleet size.
+    with_wax:
+        Include the WaxCapEx line (PCM-equipped fleet).
+    cooling_capacity_fraction:
+        Provisioned cooling capacity relative to the no-PCM peak; a
+        PCM-enabled deployment provisioning a 12% smaller plant passes
+        0.88 and its cooling CapEx scales down accordingly.
+    utilization_of_energy:
+        Scale on the energy-proportional OpEx terms (server energy and
+        cooling energy), letting scenarios reflect average-vs-peak energy.
+    """
+    if critical_power_kw <= 0:
+        raise ConfigurationError("critical power must be positive")
+    if server_count <= 0:
+        raise ConfigurationError("server count must be positive")
+    if not 0.0 < cooling_capacity_fraction <= 2.0:
+        raise ConfigurationError(
+            f"cooling capacity fraction must be in (0, 2], got "
+            f"{cooling_capacity_fraction}"
+        )
+    if not 0.0 <= utilization_of_energy <= 1.5:
+        raise ConfigurationError(
+            f"energy utilization must be in [0, 1.5], got {utilization_of_energy}"
+        )
+
+    sqft = params.sqft_per_kw * critical_power_kw
+    return TCOBreakdown(
+        facility_space_capex=params.facility_space_capex_usd_per_sqft * sqft,
+        ups_capex=params.ups_capex_usd_per_server * server_count,
+        power_infra_capex=params.power_infra_capex_usd_per_kw * critical_power_kw,
+        cooling_infra_capex=(
+            params.cooling_infra_capex_usd_per_kw
+            * critical_power_kw
+            * cooling_capacity_fraction
+        ),
+        rest_capex=params.rest_capex_usd_per_kw * critical_power_kw,
+        dc_interest=params.dc_interest_usd_per_kw * critical_power_kw,
+        server_capex=params.server_capex_usd_per_server * server_count,
+        wax_capex=(
+            params.wax_capex_usd_per_server * server_count if with_wax else 0.0
+        ),
+        server_interest=params.server_interest_usd_per_server * server_count,
+        datacenter_opex=params.datacenter_opex_usd_per_kw * critical_power_kw,
+        server_energy_opex=(
+            params.server_energy_opex_usd_per_kw
+            * critical_power_kw
+            * utilization_of_energy
+        ),
+        server_power_opex=params.server_power_opex_usd_per_kw * critical_power_kw,
+        cooling_energy_opex=(
+            params.cooling_energy_opex_usd_per_kw
+            * critical_power_kw
+            * utilization_of_energy
+        ),
+        rest_opex=params.rest_opex_usd_per_kw * critical_power_kw,
+    )

@@ -1,0 +1,482 @@
+"""Transient integration of a chassis thermal network.
+
+The solver advances the packed state ``[T_cap..., H_pcm...]`` with a
+fixed-step classical Runge-Kutta (RK4) scheme. The step size is derived
+from the smallest node time constant (a Gershgorin-style stability bound),
+so callers choose only an *output* resolution; accuracy at the hour-scale
+transients the paper studies is limited by the model, not the integrator.
+
+The network's dictionary-based physics
+(:meth:`~repro.thermal.network.ThermalNetwork.heat_flows_w`) is the
+readable reference implementation; for the long (25 h) simulations and
+parameter sweeps this module compiles the network into flat NumPy arrays
+once and evaluates the same equations ~10x faster. Tests assert the two
+paths agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SolverError
+from repro.thermal.network import ThermalNetwork
+from repro.units import AIR_VOLUMETRIC_HEAT_CAPACITY
+
+#: Default fraction of the minimum time constant used as the RK4 step.
+DEFAULT_STEP_SAFETY = 0.5
+
+
+@dataclass
+class TransientResult:
+    """Sampled trajectory of a transient simulation.
+
+    Attributes
+    ----------
+    times_s:
+        Sample times, seconds.
+    temperatures_c:
+        Node name -> temperature trace (capacitive, PCM, and boundary nodes).
+    air_temperatures_c:
+        Air segment name -> well-mixed temperature trace.
+    flow_m3_s:
+        Operating airflow trace.
+    melt_fractions:
+        PCM node name -> melt fraction trace.
+    pcm_enthalpies_j:
+        PCM node name -> total enthalpy trace.
+    power_w:
+        Total dissipated electrical power trace.
+    """
+
+    times_s: np.ndarray
+    temperatures_c: dict[str, np.ndarray]
+    air_temperatures_c: dict[str, np.ndarray]
+    flow_m3_s: np.ndarray
+    melt_fractions: dict[str, np.ndarray]
+    pcm_enthalpies_j: dict[str, np.ndarray]
+    power_w: np.ndarray
+
+    def temperature(self, name: str) -> np.ndarray:
+        """Temperature trace of a node or air segment."""
+        if name in self.temperatures_c:
+            return self.temperatures_c[name]
+        if name in self.air_temperatures_c:
+            return self.air_temperatures_c[name]
+        raise KeyError(name)
+
+    @property
+    def times_hours(self) -> np.ndarray:
+        """Sample times in hours."""
+        return self.times_s / 3600.0
+
+    def final_temperatures(self) -> dict[str, float]:
+        """Temperatures of every node at the last sample."""
+        return {name: float(trace[-1]) for name, trace in self.temperatures_c.items()}
+
+    def heat_stored_in_pcm_j(self) -> np.ndarray:
+        """Total PCM enthalpy (relative to the solidus datum) over time."""
+        if not self.pcm_enthalpies_j:
+            return np.zeros_like(self.times_s)
+        return np.sum(
+            [trace for trace in self.pcm_enthalpies_j.values()], axis=0
+        )
+
+    def heat_release_to_air_w(self) -> np.ndarray:
+        """Instantaneous heat the chassis hands to the airstream.
+
+        Energy balance: electrical power minus the rate of change of energy
+        stored in PCM (sensible storage in component masses is neglected at
+        this reporting level; it is small and zero-mean over a cycle). This
+        is the quantity the datacenter cooling system must remove.
+        """
+        stored = self.heat_stored_in_pcm_j()
+        storage_rate = np.gradient(stored, self.times_s)
+        return self.power_w - storage_rate
+
+
+class _CompiledNetwork:
+    """Flat-array evaluator of a network's right-hand side."""
+
+    def __init__(self, network: ThermalNetwork) -> None:
+        self.network = network
+        self.cap_names = network.capacitive_names
+        self.pcm_names = network.pcm_names
+        self.n_cap = len(self.cap_names)
+        self.n_pcm = len(self.pcm_names)
+        self.n_state = self.n_cap + self.n_pcm
+
+        index: dict[str, int] = {}
+        for i, name in enumerate(self.cap_names):
+            index[name] = i
+        for i, name in enumerate(self.pcm_names):
+            index[name] = self.n_cap + i
+        self.state_index = index
+
+        self.capacities = np.array(
+            [
+                network.capacitive_node(name).heat_capacity_j_per_k
+                for name in self.cap_names
+            ]
+        )
+        self.power_functions = [
+            network.capacitive_node(name).power_w for name in self.cap_names
+        ]
+        self.pcm_samples = [network.pcm_node(name).sample for name in self.pcm_names]
+        self.pcm_masses = np.array([s.mass_kg for s in self.pcm_samples])
+
+        self.boundary_functions = {
+            name: network.boundary_node(name).temperature_c
+            for name in network.boundary_names
+        }
+
+        # Conductance edges, split by whether each endpoint is a state node.
+        edges = network.conductances
+        self.edge_g = np.array([e.conductance_w_per_k for e in edges])
+        self.edge_a_state = [index.get(e.node_a, -1) for e in edges]
+        self.edge_b_state = [index.get(e.node_b, -1) for e in edges]
+        self.edge_a_boundary = [
+            e.node_a if e.node_a not in index else None for e in edges
+        ]
+        self.edge_b_boundary = [
+            e.node_b if e.node_b not in index else None for e in edges
+        ]
+
+        self.air_path = network.air_path
+        if self.air_path is not None:
+            self.segments = [
+                (
+                    [index[c.node_name] for c in segment.couplings],
+                    list(segment.couplings),
+                )
+                for segment in self.air_path.segments
+            ]
+
+    # -- state expansion ---------------------------------------------------
+
+    def temperatures(self, state: np.ndarray) -> np.ndarray:
+        """Temperatures of all state nodes (PCM via the enthalpy map)."""
+        temps = np.empty(self.n_state)
+        temps[: self.n_cap] = state[: self.n_cap]
+        for i, sample in enumerate(self.pcm_samples):
+            specific = state[self.n_cap + i] / sample.mass_kg
+            temps[self.n_cap + i] = sample.material.temperature_at_enthalpy(specific)
+        return temps
+
+    def boundary_temperature(self, name: str, time_s: float) -> float:
+        return self.boundary_functions[name](time_s)
+
+    # -- physics --------------------------------------------------------------
+
+    def rhs(self, state: np.ndarray, time_s: float) -> np.ndarray:
+        """Packed state derivative; mirrors ThermalNetwork.state_derivative."""
+        temps = self.temperatures(state)
+        flows = np.zeros(self.n_state)
+
+        for i, power in enumerate(self.power_functions):
+            flows[i] += power(time_s)
+
+        for k in range(len(self.edge_g)):
+            ia, ib = self.edge_a_state[k], self.edge_b_state[k]
+            t_a = (
+                temps[ia]
+                if ia >= 0
+                else self.boundary_temperature(self.edge_a_boundary[k], time_s)
+            )
+            t_b = (
+                temps[ib]
+                if ib >= 0
+                else self.boundary_temperature(self.edge_b_boundary[k], time_s)
+            )
+            heat = self.edge_g[k] * (t_a - t_b)
+            if ia >= 0:
+                flows[ia] -= heat
+            if ib >= 0:
+                flows[ib] += heat
+
+        if self.air_path is not None:
+            inlet = self.boundary_temperature("inlet", time_s)
+            flow = self.air_path.flow_at_time(time_s)
+            capacity_rate = AIR_VOLUMETRIC_HEAT_CAPACITY * flow
+            upstream = inlet
+            for state_indices, couplings in self.segments:
+                numerator = capacity_rate * upstream
+                denominator = capacity_rate
+                conductances = []
+                for idx, coupling in zip(state_indices, couplings):
+                    g = coupling.conductance_at_flow(flow)
+                    conductances.append(g)
+                    numerator += g * temps[idx]
+                    denominator += g
+                mixed = numerator / denominator
+                for idx, g in zip(state_indices, conductances):
+                    flows[idx] += g * (mixed - temps[idx])
+                upstream = mixed
+
+        derivative = np.empty(self.n_state)
+        derivative[: self.n_cap] = flows[: self.n_cap] / self.capacities
+        derivative[self.n_cap :] = flows[self.n_cap :]
+        return derivative
+
+    def observe(
+        self, state: np.ndarray, time_s: float
+    ) -> tuple[dict[str, float], dict[str, float], float]:
+        """Node temperatures, segment air temperatures, and flow at a state."""
+        temps = self.temperatures(state)
+        named = {name: float(temps[self.state_index[name]]) for name in self.cap_names}
+        named.update(
+            {name: float(temps[self.state_index[name]]) for name in self.pcm_names}
+        )
+        for name, func in self.boundary_functions.items():
+            named[name] = float(func(time_s))
+        air: dict[str, float] = {}
+        flow = 0.0
+        if self.air_path is not None:
+            air_map, flow = self.network.air_temperatures(
+                {**named}, time_s
+            )
+            air = {name: float(value) for name, value in air_map.items()}
+        return named, air, flow
+
+
+def stable_step_s(network: ThermalNetwork, safety: float = DEFAULT_STEP_SAFETY) -> float:
+    """Step size bound from the network's smallest time constant.
+
+    Evaluated at full fan speed (maximum flow, hence maximum convective
+    conductance and stiffest dynamics).
+    """
+    if not 0 < safety <= 1.0:
+        raise ConfigurationError(f"step safety must be in (0, 1], got {safety}")
+    if network.air_path is not None:
+        flow = network.air_path.flow_at_time(0.0)
+        # Conductance grows with flow; bound using the largest flow the fan
+        # bank can deliver into the current impedance at full speed.
+        from repro.thermal.airflow import operating_flow
+
+        flow = max(
+            flow,
+            operating_flow(network.air_path.fans, network.air_path.total_impedance()),
+        )
+    else:
+        flow = 0.0
+    return safety * network.min_time_constant_s(flow)
+
+
+def simulate_transient(
+    network: ThermalNetwork,
+    duration_s: float,
+    output_interval_s: float = 60.0,
+    max_step_s: float | None = None,
+    step_safety: float = DEFAULT_STEP_SAFETY,
+    commit_final_state: bool = False,
+    method: str = "rk4",
+) -> TransientResult:
+    """Integrate a network forward in time and sample its trajectory.
+
+    Parameters
+    ----------
+    network:
+        The chassis network. Its PCM samples' current enthalpies are the
+        initial conditions; they are left untouched unless
+        ``commit_final_state`` is set.
+    duration_s:
+        Simulation horizon.
+    output_interval_s:
+        Sampling resolution of the returned traces.
+    max_step_s:
+        Optional cap on the internal RK4 step (defaults to the stability
+        bound and never exceeds the output interval).
+    step_safety:
+        Fraction of the minimum time constant used for the internal step.
+    commit_final_state:
+        If true, write the final PCM enthalpies back into the network's
+        samples, letting callers chain simulation phases.
+    method:
+        ``"rk4"`` (default): fixed-step explicit RK4 at the stability
+        bound — fast, deterministic, exact energy bookkeeping.
+        ``"bdf"``: SciPy's implicit BDF integrator on the same compiled
+        right-hand side — an independent numerical path used as a
+        cross-check (tests assert the two agree).
+    """
+    if duration_s <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration_s}")
+    if output_interval_s <= 0:
+        raise ConfigurationError(
+            f"output interval must be positive, got {output_interval_s}"
+        )
+    if method not in ("rk4", "bdf"):
+        raise ConfigurationError(
+            f"method must be 'rk4' or 'bdf', got {method!r}"
+        )
+    network.validate()
+    compiled = _CompiledNetwork(network)
+
+    if method == "bdf":
+        return _simulate_bdf(
+            network, compiled, duration_s, output_interval_s, commit_final_state
+        )
+
+    step = stable_step_s(network, step_safety)
+    if max_step_s is not None:
+        if max_step_s <= 0:
+            raise ConfigurationError(f"max step must be positive, got {max_step_s}")
+        step = min(step, max_step_s)
+    step = min(step, output_interval_s)
+
+    n_outputs = int(np.floor(duration_s / output_interval_s)) + 1
+    times = np.arange(n_outputs) * output_interval_s
+
+    state = network.initial_state()
+    n_cap = compiled.n_cap
+
+    temp_traces = {
+        name: np.empty(n_outputs)
+        for name in compiled.cap_names
+        + compiled.pcm_names
+        + list(compiled.boundary_functions)
+    }
+    air_traces: dict[str, np.ndarray] = {}
+    if network.air_path is not None:
+        air_traces = {
+            segment.name: np.empty(n_outputs)
+            for segment in network.air_path.segments
+        }
+    flow_trace = np.zeros(n_outputs)
+    melt_traces = {name: np.empty(n_outputs) for name in compiled.pcm_names}
+    enthalpy_traces = {name: np.empty(n_outputs) for name in compiled.pcm_names}
+    power_trace = np.empty(n_outputs)
+
+    def record(sample_index: int, time_s: float) -> None:
+        named, air, flow = compiled.observe(state, time_s)
+        for name, value in named.items():
+            temp_traces[name][sample_index] = value
+        for name, value in air.items():
+            air_traces[name][sample_index] = value
+        flow_trace[sample_index] = flow
+        for i, name in enumerate(compiled.pcm_names):
+            enthalpy = state[n_cap + i]
+            enthalpy_traces[name][sample_index] = enthalpy
+            sample = compiled.pcm_samples[i]
+            melt_traces[name][sample_index] = (
+                sample.material.melt_fraction_at_enthalpy(enthalpy / sample.mass_kg)
+            )
+        power_trace[sample_index] = network.total_power_w(time_s)
+
+    record(0, 0.0)
+    time_now = 0.0
+    for sample_index in range(1, n_outputs):
+        target = times[sample_index]
+        while time_now < target - 1e-9:
+            dt = min(step, target - time_now)
+            k1 = compiled.rhs(state, time_now)
+            k2 = compiled.rhs(state + 0.5 * dt * k1, time_now + 0.5 * dt)
+            k3 = compiled.rhs(state + 0.5 * dt * k2, time_now + 0.5 * dt)
+            k4 = compiled.rhs(state + dt * k3, time_now + dt)
+            state = state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            time_now += dt
+            if not np.all(np.isfinite(state)):
+                raise SolverError(
+                    f"non-finite state at t={time_now:.1f}s in network "
+                    f"{network.name!r}; step {step:.3g}s may be unstable"
+                )
+        record(sample_index, target)
+
+    if commit_final_state:
+        for i, name in enumerate(compiled.pcm_names):
+            network.pcm_node(name).sample.enthalpy_j = float(state[n_cap + i])
+
+    return TransientResult(
+        times_s=times,
+        temperatures_c=temp_traces,
+        air_temperatures_c=air_traces,
+        flow_m3_s=flow_trace,
+        melt_fractions=melt_traces,
+        pcm_enthalpies_j=enthalpy_traces,
+        power_w=power_trace,
+    )
+
+
+def _simulate_bdf(
+    network: ThermalNetwork,
+    compiled: _CompiledNetwork,
+    duration_s: float,
+    output_interval_s: float,
+    commit_final_state: bool,
+) -> TransientResult:
+    """SciPy BDF integration of the compiled network (cross-check path).
+
+    Power and fan schedules may be discontinuous (step profiles), which
+    adaptive implicit solvers handle but step over; the maximum internal
+    step is capped at the output interval so no feature narrower than the
+    sampling resolution is skipped entirely.
+    """
+    from scipy.integrate import solve_ivp
+
+    n_outputs = int(np.floor(duration_s / output_interval_s)) + 1
+    times = np.arange(n_outputs) * output_interval_s
+    initial = network.initial_state()
+
+    solution = solve_ivp(
+        lambda t, y: compiled.rhs(y, t),
+        t_span=(0.0, float(times[-1])) if times[-1] > 0 else (0.0, duration_s),
+        y0=initial,
+        method="BDF",
+        t_eval=times,
+        max_step=output_interval_s,
+        rtol=1e-6,
+        atol=1e-6,
+    )
+    if not solution.success:
+        raise SolverError(f"BDF integration failed: {solution.message}")
+
+    n_cap = compiled.n_cap
+    temp_traces = {
+        name: np.empty(n_outputs)
+        for name in compiled.cap_names
+        + compiled.pcm_names
+        + list(compiled.boundary_functions)
+    }
+    air_traces: dict[str, np.ndarray] = {}
+    if network.air_path is not None:
+        air_traces = {
+            segment.name: np.empty(n_outputs)
+            for segment in network.air_path.segments
+        }
+    flow_trace = np.zeros(n_outputs)
+    melt_traces = {name: np.empty(n_outputs) for name in compiled.pcm_names}
+    enthalpy_traces = {name: np.empty(n_outputs) for name in compiled.pcm_names}
+    power_trace = np.empty(n_outputs)
+
+    for sample_index, time_s in enumerate(times):
+        state = solution.y[:, sample_index]
+        named, air, flow = compiled.observe(state, float(time_s))
+        for name, value in named.items():
+            temp_traces[name][sample_index] = value
+        for name, value in air.items():
+            air_traces[name][sample_index] = value
+        flow_trace[sample_index] = flow
+        for i, name in enumerate(compiled.pcm_names):
+            enthalpy = state[n_cap + i]
+            enthalpy_traces[name][sample_index] = enthalpy
+            sample = compiled.pcm_samples[i]
+            melt_traces[name][sample_index] = (
+                sample.material.melt_fraction_at_enthalpy(enthalpy / sample.mass_kg)
+            )
+        power_trace[sample_index] = network.total_power_w(float(time_s))
+
+    if commit_final_state:
+        for i, name in enumerate(compiled.pcm_names):
+            network.pcm_node(name).sample.enthalpy_j = float(
+                solution.y[n_cap + i, -1]
+            )
+
+    return TransientResult(
+        times_s=times,
+        temperatures_c=temp_traces,
+        air_temperatures_c=air_traces,
+        flow_m3_s=flow_trace,
+        melt_fractions=melt_traces,
+        pcm_enthalpies_j=enthalpy_traces,
+        power_w=power_trace,
+    )

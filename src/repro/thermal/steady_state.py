@@ -1,0 +1,141 @@
+"""Steady-state solution of a chassis thermal network.
+
+Used for the paper's Figure 7 experiments (temperatures after 12 h at
+constant load, as a function of airflow blockage) and for the steady-state
+columns of the Figure 4 validation. Rather than integrating to equilibrium,
+the solver damps a fixed-point iteration on the energy balance:
+
+    T_i = (P_i + sum_j G_ij * T_j) / sum_j G_ij
+
+with the quasi-steady segment air temperatures recomputed each sweep. PCM
+nodes at steady state carry no latent flux, so they behave as ordinary
+temperature nodes (their steady temperature determines whether the wax
+ends the period molten, frozen, or pinned inside the melting interval —
+pinning cannot persist at a true steady state unless the node temperature
+equals the mushy-zone temperature exactly, so the fixed point treats them
+as sensible nodes and reports the implied phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.thermal.network import ThermalNetwork
+
+
+@dataclass
+class SteadyStateResult:
+    """Converged steady-state operating point of a network."""
+
+    temperatures_c: dict[str, float]
+    air_temperatures_c: dict[str, float]
+    flow_m3_s: float
+    iterations: int
+
+    def outlet_temperature_c(self) -> float:
+        """Temperature of the last (rear-most) air segment."""
+        if not self.air_temperatures_c:
+            raise KeyError("network has no air path")
+        return list(self.air_temperatures_c.values())[-1]
+
+
+def solve_steady_state(
+    network: ThermalNetwork,
+    time_s: float = 0.0,
+    tolerance_c: float = 1e-6,
+    max_iterations: int = 20_000,
+    relaxation: float = 0.8,
+) -> SteadyStateResult:
+    """Solve for the network's steady temperatures at a frozen time.
+
+    Power schedules, boundary temperatures, and fan speeds are evaluated at
+    ``time_s`` and held constant.
+
+    Parameters
+    ----------
+    tolerance_c:
+        Convergence criterion on the largest temperature update per sweep.
+    relaxation:
+        Under-relaxation factor in (0, 1]; 1.0 is plain Gauss-Seidel-style
+        fixed point, smaller is more robust for strongly-coupled networks.
+    """
+    network.validate()
+    if not 0 < relaxation <= 1.0:
+        raise SolverError(f"relaxation must be in (0, 1], got {relaxation}")
+
+    cap_names = network.capacitive_names
+    pcm_names = network.pcm_names
+    state_names = cap_names + pcm_names
+
+    temps: dict[str, float] = {}
+    for name in cap_names:
+        temps[name] = network.capacitive_node(name).initial_temperature_c
+    for name in pcm_names:
+        temps[name] = network.pcm_node(name).sample.temperature_c
+    for name in network.boundary_names:
+        temps[name] = network.boundary_node(name).temperature_c(time_s)
+
+    powers = {
+        name: network.capacitive_node(name).power_w(time_s) for name in cap_names
+    }
+
+    air_temps: dict[str, float] = {}
+    flow = 0.0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        if network.air_path is not None:
+            air_temps, flow = network.air_temperatures(temps, time_s)
+
+        # Accumulate, per state node, the conductance-weighted neighbour sum.
+        weighted_sum = {name: 0.0 for name in state_names}
+        conductance_sum = {name: 0.0 for name in state_names}
+        for edge in network.conductances:
+            if edge.node_a in weighted_sum:
+                weighted_sum[edge.node_a] += edge.conductance_w_per_k * temps[edge.node_b]
+                conductance_sum[edge.node_a] += edge.conductance_w_per_k
+            if edge.node_b in weighted_sum:
+                weighted_sum[edge.node_b] += edge.conductance_w_per_k * temps[edge.node_a]
+                conductance_sum[edge.node_b] += edge.conductance_w_per_k
+        if network.air_path is not None:
+            for segment in network.air_path.segments:
+                segment_temp = air_temps[segment.name]
+                for coupling in segment.couplings:
+                    g = coupling.conductance_at_flow(flow)
+                    weighted_sum[coupling.node_name] += g * segment_temp
+                    conductance_sum[coupling.node_name] += g
+
+        worst_update = 0.0
+        for name in state_names:
+            if conductance_sum[name] <= 0:
+                raise SolverError(
+                    f"node {name!r} has no conductance at steady state"
+                )
+            power = powers.get(name, 0.0)
+            target = (power + weighted_sum[name]) / conductance_sum[name]
+            update = relaxation * (target - temps[name])
+            temps[name] += update
+            worst_update = max(worst_update, abs(update))
+
+        if worst_update < tolerance_c:
+            break
+    else:
+        raise SolverError(
+            f"steady state failed to converge within {max_iterations} sweeps "
+            f"(last update {worst_update:.3g} degC)"
+        )
+
+    if network.air_path is not None:
+        air_temps, flow = network.air_temperatures(temps, time_s)
+
+    if not all(np.isfinite(list(temps.values()))):
+        raise SolverError("steady state produced non-finite temperatures")
+
+    return SteadyStateResult(
+        temperatures_c=dict(temps),
+        air_temperatures_c=dict(air_temps),
+        flow_m3_s=flow,
+        iterations=iterations,
+    )

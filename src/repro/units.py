@@ -1,0 +1,179 @@
+"""Physical constants and unit conversions used throughout the library.
+
+All internal computation is in SI units:
+
+* temperature      — degrees Celsius for interfaces, Kelvin-equivalent deltas
+* energy           — joules
+* power            — watts
+* mass             — kilograms
+* volume           — cubic meters
+* volumetric flow  — cubic meters per second
+* pressure         — pascals
+* time             — seconds
+
+Helpers exist for the unit systems the paper quotes results in (liters of
+wax, J/g heats of fusion, CFM airflow, hours, kWh, $/ton).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Physical constants
+# --------------------------------------------------------------------------
+
+#: Density of air at ~35 degC server-internal conditions (kg/m^3).
+AIR_DENSITY = 1.145
+
+#: Specific heat of air at constant pressure (J/(kg K)).
+AIR_SPECIFIC_HEAT = 1006.0
+
+#: Volumetric heat capacity of air (J/(m^3 K)).
+AIR_VOLUMETRIC_HEAT_CAPACITY = AIR_DENSITY * AIR_SPECIFIC_HEAT
+
+#: Density of aluminum (kg/m^3) — wax containers are aluminum boxes.
+ALUMINUM_DENSITY = 2700.0
+
+#: Specific heat of aluminum (J/(kg K)).
+ALUMINUM_SPECIFIC_HEAT = 897.0
+
+#: Thermal conductivity of aluminum (W/(m K)).
+ALUMINUM_CONDUCTIVITY = 205.0
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+# --------------------------------------------------------------------------
+# Energy and power
+# --------------------------------------------------------------------------
+
+JOULES_PER_KWH = 3.6e6
+
+
+def kwh(value: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return value * JOULES_PER_KWH
+
+
+def to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def joules_per_gram(value: float) -> float:
+    """Convert a heat of fusion quoted in J/g (paper's unit) to J/kg."""
+    return value * 1000.0
+
+
+# --------------------------------------------------------------------------
+# Mass and volume
+# --------------------------------------------------------------------------
+
+KG_PER_METRIC_TON = 1000.0
+
+
+def liters(value: float) -> float:
+    """Convert liters to cubic meters."""
+    return value * 1e-3
+
+
+def to_liters(cubic_meters: float) -> float:
+    """Convert cubic meters to liters."""
+    return cubic_meters * 1e3
+
+
+def milliliters(value: float) -> float:
+    """Convert milliliters to cubic meters."""
+    return value * 1e-6
+
+
+def grams(value: float) -> float:
+    """Convert grams to kilograms."""
+    return value * 1e-3
+
+
+def grams_per_ml(value: float) -> float:
+    """Convert a density quoted in g/ml (paper's unit) to kg/m^3."""
+    return value * 1000.0
+
+
+# --------------------------------------------------------------------------
+# Airflow
+# --------------------------------------------------------------------------
+
+CUBIC_METERS_PER_SECOND_PER_CFM = 4.719474e-4
+
+
+def cfm(value: float) -> float:
+    """Convert cubic feet per minute to m^3/s."""
+    return value * CUBIC_METERS_PER_SECOND_PER_CFM
+
+
+def to_cfm(cubic_meters_per_second: float) -> float:
+    """Convert m^3/s to cubic feet per minute."""
+    return cubic_meters_per_second / CUBIC_METERS_PER_SECOND_PER_CFM
+
+
+#: Meters per second per linear foot per minute (paper quotes LFM at the
+#: Open Compute blade rear).
+METERS_PER_SECOND_PER_LFM = 0.00508
+
+
+def lfm(value: float) -> float:
+    """Convert linear feet per minute (air velocity) to m/s."""
+    return value * METERS_PER_SECOND_PER_LFM
+
+
+# --------------------------------------------------------------------------
+# Geometry of rack units
+# --------------------------------------------------------------------------
+
+#: Height of one rack unit in meters.
+RACK_UNIT_HEIGHT = 0.04445
+
+#: Standard 19-inch rack interior width in meters.
+RACK_INTERIOR_WIDTH = 0.4445
+
+
+def rack_units(value: float) -> float:
+    """Convert a height in rack units (U) to meters."""
+    return value * RACK_UNIT_HEIGHT
+
+
+# --------------------------------------------------------------------------
+# Temperature helpers
+# --------------------------------------------------------------------------
+
+def celsius_to_kelvin(value: float) -> float:
+    """Convert degrees Celsius to Kelvin."""
+    return value + 273.15
+
+
+def kelvin_to_celsius(value: float) -> float:
+    """Convert Kelvin to degrees Celsius."""
+    return value - 273.15

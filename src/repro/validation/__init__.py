@@ -1,0 +1,32 @@
+"""Model validation against a high-fidelity reference server (Figure 4).
+
+The paper validates its Icepak model against measurements of a physical
+Lenovo RD330 containing 70 g of paraffin in a sealed aluminum box, plus a
+placebo arm with the same box empty. We have no physical server, so
+:mod:`repro.validation.reference` builds an *independent, finer-grained*
+simulator of the same machine — more nodes, finer air segmentation, noisy
+sensors at the paper's TEMPer1 locations — and
+:mod:`repro.validation.harness` runs the paper's exact protocol (1 h idle,
+12 h loaded, 12 h idle; wax and placebo arms) against both models and
+compares them.
+"""
+
+from repro.validation.reference import (
+    ReferenceServer,
+    SensorSpec,
+    build_reference_server,
+)
+from repro.validation.harness import (
+    ValidationArm,
+    ValidationReport,
+    run_validation,
+)
+
+__all__ = [
+    "ReferenceServer",
+    "SensorSpec",
+    "build_reference_server",
+    "ValidationArm",
+    "ValidationReport",
+    "run_validation",
+]

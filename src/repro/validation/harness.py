@@ -1,0 +1,201 @@
+"""The Figure 4 validation pipeline.
+
+Protocol (paper Section 3): "60 minutes of idle time, followed by 12 hours
+under heavy load ... to heat the server up until temperatures stabilize,
+and then 12 hours at idle again to measure the server cooling down", run
+with the wax box installed and again with the same box empty (placebo),
+on both the reference ("real") server and the coarse ("Icepak-role")
+model.
+
+Reported, mirroring the paper's Figure 4:
+
+* (a) heating-up transients of the near-box sensor for all four arms;
+* (b) cooling-down transients;
+* (c) steady-state (hours 6-12) temperatures per sensor, real vs model,
+  with the mean absolute difference (the paper's 0.22 degC);
+* the durations for which the wax measurably depresses (melting) and then
+  elevates (refreezing) temperatures relative to the placebo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import TraceComparison, compare_traces
+from repro.server.chassis import step_utilization
+from repro.server.configs import one_u_commodity
+from repro.thermal.solver import TransientResult, simulate_transient
+from repro.units import hours
+from repro.validation.reference import (
+    DEFAULT_SENSORS,
+    ReferenceServer,
+    build_reference_server,
+    sensor_trace,
+    validation_loadout,
+)
+
+#: Protocol timing: 1 h idle, 12 h loaded, 12 h idle.
+LOAD_START_S = hours(1.0)
+LOAD_END_S = hours(13.0)
+TOTAL_S = hours(25.0)
+
+#: Steady-state window: "between hours 6 and 12" (of load; absolute 7-13).
+STEADY_WINDOW_S = (hours(7.0), hours(13.0))
+
+
+@dataclass(frozen=True)
+class ValidationArm:
+    """One of the four experimental arms."""
+
+    label: str
+    source: str  # "real" (reference model) or "model" (coarse chassis)
+    wax: bool  # wax box vs placebo (empty box)
+    result: TransientResult
+    sensor_traces: dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Everything Figure 4 reports."""
+
+    arms: dict[str, ValidationArm]
+    steady_state_real_c: dict[str, float]
+    steady_state_model_c: dict[str, float]
+    steady_mean_abs_difference_c: float
+    heating_comparison: TraceComparison
+    cooling_comparison: TraceComparison
+    wax_melt_effect_hours: float
+    wax_freeze_effect_hours: float
+
+    def arm(self, source: str, wax: bool) -> ValidationArm:
+        """Look up an arm by source and wax flag."""
+        return self.arms[_arm_key(source, wax)]
+
+
+def _arm_key(source: str, wax: bool) -> str:
+    return f"{source}-{'wax' if wax else 'placebo'}"
+
+
+def _steady_mean(times_s: np.ndarray, trace: np.ndarray) -> float:
+    low, high = STEADY_WINDOW_S
+    mask = (times_s >= low) & (times_s <= high)
+    return float(np.mean(trace[mask]))
+
+
+def _effect_hours(
+    times_s: np.ndarray,
+    wax_trace: np.ndarray,
+    placebo_trace: np.ndarray,
+    threshold_c: float = 0.25,
+) -> tuple[float, float]:
+    """Durations for which wax depresses / elevates temperatures."""
+    delta = wax_trace - placebo_trace
+    dt = np.diff(times_s, prepend=times_s[0])
+    depress = float(np.sum(dt[delta < -threshold_c])) / 3600.0
+    elevate = float(np.sum(dt[delta > threshold_c])) / 3600.0
+    return depress, elevate
+
+
+def run_validation(
+    inlet_temperature_c: float = 25.0,
+    output_interval_s: float = 120.0,
+    reference: ReferenceServer | None = None,
+) -> ValidationReport:
+    """Run the four-arm Figure 4 protocol and compare the models."""
+    reference = reference or build_reference_server()
+    utilization = step_utilization(0.0, 1.0, LOAD_START_S, LOAD_END_S)
+
+    coarse_spec = one_u_commodity().with_wax_material(
+        validation_loadout().material
+    )
+    coarse_chassis = coarse_spec.chassis.with_wax_loadout(validation_loadout())
+
+    arms: dict[str, ValidationArm] = {}
+    for wax in (True, False):
+        network = reference.build_network(
+            utilization,
+            with_wax=wax,
+            placebo=not wax,
+            inlet_temperature_c=inlet_temperature_c,
+        )
+        result = simulate_transient(network, TOTAL_S, output_interval_s)
+        arms[_arm_key("real", wax)] = ValidationArm(
+            label=f"Real {'Wax' if wax else 'Placebo'}",
+            source="real",
+            wax=wax,
+            result=result,
+            sensor_traces=reference.read_sensors(result),
+        )
+
+        coarse_network = coarse_chassis.build_network(
+            utilization,
+            inlet_temperature_c=inlet_temperature_c,
+            with_wax=wax,
+            placebo=not wax,
+        )
+        coarse_result = simulate_transient(coarse_network, TOTAL_S, output_interval_s)
+        # The coarse model has one mid-chassis segmentation; probe the
+        # closest segments to each physical sensor location, with the same
+        # box-proximity mixing the physical sensors have.
+        segment_map = {"cpu_b": "cpu", "wax": "wax", "rear": "rear"}
+        model_traces = {}
+        for sensor in DEFAULT_SENSORS:
+            mapped = type(sensor)(
+                name=sensor.name,
+                segment=segment_map[sensor.segment],
+                offset_c=0.0,
+                box_weight=sensor.box_weight,
+            )
+            model_traces[sensor.name] = sensor_trace(mapped, coarse_result)
+        arms[_arm_key("model", wax)] = ValidationArm(
+            label=f"Icepak {'Wax' if wax else 'Placebo'}",
+            source="model",
+            wax=wax,
+            result=coarse_result,
+            sensor_traces=model_traces,
+        )
+
+    real_wax = arms[_arm_key("real", True)]
+    model_wax = arms[_arm_key("model", True)]
+    real_placebo = arms[_arm_key("real", False)]
+
+    times = real_wax.result.times_s
+    steady_real = {
+        name: _steady_mean(times, trace)
+        for name, trace in real_wax.sensor_traces.items()
+    }
+    steady_model = {
+        name: _steady_mean(model_wax.result.times_s, trace)
+        for name, trace in model_wax.sensor_traces.items()
+    }
+    steady_diff = float(
+        np.mean(
+            [abs(steady_model[name] - steady_real[name]) for name in steady_real]
+        )
+    )
+
+    heat_mask = times <= hours(7.0)
+    cool_mask = times >= hours(12.0)
+    near_real = real_wax.sensor_traces["near_box"]
+    near_model = model_wax.sensor_traces["near_box"]
+    heating = compare_traces(near_real[heat_mask], near_model[heat_mask])
+    cooling = compare_traces(near_real[cool_mask], near_model[cool_mask])
+
+    melt_hours, freeze_hours = _effect_hours(
+        times,
+        real_wax.sensor_traces["near_box"],
+        real_placebo.sensor_traces["near_box"],
+    )
+
+    return ValidationReport(
+        arms=arms,
+        steady_state_real_c=steady_real,
+        steady_state_model_c=steady_model,
+        steady_mean_abs_difference_c=steady_diff,
+        heating_comparison=heating,
+        cooling_comparison=cooling,
+        wax_melt_effect_hours=melt_hours,
+        wax_freeze_effect_hours=freeze_hours,
+    )

@@ -1,0 +1,40 @@
+"""Datacenter workload traces.
+
+The paper drives its scale-out study with a two-day Google trace (November
+17-18, 2010) containing Web Search, Orkut (social networking), and
+MapReduce traffic, normalized to a 50% average and 95% peak load for a
+1008-server cluster (Section 4.2, Figure 10). Google stopped publishing
+that data after 2011, so :mod:`repro.workload.google` synthesizes a
+deterministic trace with the published shape and normalization; the rest of
+the pipeline consumes any :class:`~repro.workload.trace.LoadTrace`.
+"""
+
+from repro.workload.trace import LoadTrace
+from repro.workload.google import (
+    GoogleTraceComponents,
+    synthesize_google_trace,
+)
+from repro.workload.io import load_trace, save_trace
+from repro.workload.jobs import JobClass, generate_arrivals
+from repro.workload.synthetic import (
+    bursty_trace,
+    diurnal_trace,
+    double_peak_trace,
+    flat_trace,
+    weekday_weekend_trace,
+)
+
+__all__ = [
+    "load_trace",
+    "save_trace",
+    "diurnal_trace",
+    "double_peak_trace",
+    "weekday_weekend_trace",
+    "flat_trace",
+    "bursty_trace",
+    "LoadTrace",
+    "GoogleTraceComponents",
+    "synthesize_google_trace",
+    "JobClass",
+    "generate_arrivals",
+]

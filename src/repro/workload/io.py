@@ -1,0 +1,73 @@
+"""Load-trace persistence: CSV read/write.
+
+Operators bring their own load traces; this module reads and writes the
+obvious interchange format — two columns, time in seconds and load
+fraction — so measured traces drop into every study that takes a
+:class:`~repro.workload.trace.LoadTrace`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.trace import LoadTrace
+
+#: Canonical column headers.
+TIME_COLUMN = "time_s"
+LOAD_COLUMN = "load"
+
+
+def save_trace(trace: LoadTrace, path: str | Path) -> Path:
+    """Write a trace to CSV; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([TIME_COLUMN, LOAD_COLUMN])
+        for time_s, value in zip(trace.times_s, trace.values):
+            writer.writerow([repr(float(time_s)), repr(float(value))])
+    return target
+
+
+def load_trace(path: str | Path, name: str | None = None) -> LoadTrace:
+    """Read a trace from CSV.
+
+    Accepts the canonical header, a headerless two-column file, or any
+    two-column file whose first row is non-numeric (treated as a header).
+    Times must be strictly increasing and start at zero — the same
+    contract every generated trace satisfies.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise WorkloadError(f"trace file not found: {source}")
+    times: list[float] = []
+    values: list[float] = []
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle)
+        for row_index, row in enumerate(reader):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) < 2:
+                raise WorkloadError(
+                    f"{source}: row {row_index + 1} has fewer than two columns"
+                )
+            try:
+                time_s = float(row[0])
+                value = float(row[1])
+            except ValueError:
+                if row_index == 0:
+                    continue  # header row
+                raise WorkloadError(
+                    f"{source}: row {row_index + 1} is not numeric: {row[:2]}"
+                ) from None
+            times.append(time_s)
+            values.append(value)
+    if len(times) < 2:
+        raise WorkloadError(f"{source}: needs at least two samples")
+    return LoadTrace(
+        np.asarray(times), np.asarray(values), name=name or source.stem
+    )

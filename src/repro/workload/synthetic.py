@@ -1,0 +1,153 @@
+"""Parametric workload scenario generators beyond the Google trace.
+
+The paper notes "the best melting temperature is determined on the shape
+and length of the load trace" (Section 5.1). These generators produce the
+shape families needed to study that sensitivity:
+
+* :func:`diurnal_trace` — a single smooth daily hump with tunable peak
+  sharpness and trough depth;
+* :func:`double_peak_trace` — morning and evening peaks with a midday dip
+  (office-hours interactive traffic);
+* :func:`weekday_weekend_trace` — a work-week cycle where weekend days
+  run at a fraction of weekday load;
+* :func:`flat_trace` — a constant load (the degenerate case where no
+  amount of PCM helps: nothing to shift);
+* :func:`bursty_trace` — a diurnal base with deterministic load spikes
+  (flash crowds), exercising short-horizon absorption.
+
+All generators are deterministic and return normalized
+:class:`~repro.workload.trace.LoadTrace` objects unless normalization is
+impossible (the flat trace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import SECONDS_PER_DAY, SECONDS_PER_HOUR, days
+from repro.workload.trace import LoadTrace
+
+DEFAULT_INTERVAL_S = 300.0
+
+
+def _grid(duration_s: float, interval_s: float) -> tuple[np.ndarray, np.ndarray]:
+    if duration_s <= 0 or interval_s <= 0:
+        raise WorkloadError("duration and interval must be positive")
+    n = int(np.floor(duration_s / interval_s)) + 1
+    times = np.arange(n) * interval_s
+    hours = (times / SECONDS_PER_HOUR) % 24.0
+    return times, hours
+
+
+def _bump(hours: np.ndarray, peak_hour: float, sharpness: float) -> np.ndarray:
+    phase = 2.0 * np.pi * (hours - peak_hour) / 24.0
+    return np.exp(sharpness * (np.cos(phase) - 1.0))
+
+
+def diurnal_trace(
+    duration_s: float = days(2.0),
+    interval_s: float = DEFAULT_INTERVAL_S,
+    peak_hour: float = 13.5,
+    sharpness: float = 3.0,
+    trough: float = 0.3,
+    average: float = 0.5,
+    peak: float = 0.95,
+) -> LoadTrace:
+    """A single daily hump; higher ``sharpness`` narrows the peak."""
+    if sharpness <= 0:
+        raise WorkloadError("sharpness must be positive")
+    if not 0.0 <= trough < 1.0:
+        raise WorkloadError("trough must be in [0, 1)")
+    times, hours = _grid(duration_s, interval_s)
+    shape = trough + (1.0 - trough) * _bump(hours, peak_hour, sharpness)
+    return LoadTrace(times, shape, name="diurnal").normalized(average, peak)
+
+
+def double_peak_trace(
+    duration_s: float = days(2.0),
+    interval_s: float = DEFAULT_INTERVAL_S,
+    morning_hour: float = 10.0,
+    evening_hour: float = 20.0,
+    sharpness: float = 5.0,
+    trough: float = 0.3,
+    average: float = 0.5,
+    peak: float = 0.95,
+) -> LoadTrace:
+    """Two daily peaks with a midday dip between them."""
+    if not morning_hour < evening_hour:
+        raise WorkloadError("morning peak must precede the evening peak")
+    times, hours = _grid(duration_s, interval_s)
+    shape = trough + (1.0 - trough) * 0.5 * (
+        _bump(hours, morning_hour, sharpness)
+        + _bump(hours, evening_hour, sharpness)
+    )
+    return LoadTrace(times, shape, name="double-peak").normalized(average, peak)
+
+
+def weekday_weekend_trace(
+    weeks: int = 1,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    weekend_fraction: float = 0.5,
+    sharpness: float = 3.0,
+    average: float = 0.5,
+    peak: float = 0.95,
+) -> LoadTrace:
+    """A 7-day cycle: five weekday diurnals, two damped weekend days."""
+    if weeks <= 0:
+        raise WorkloadError("weeks must be positive")
+    if not 0.0 < weekend_fraction <= 1.0:
+        raise WorkloadError("weekend fraction must be in (0, 1]")
+    duration = weeks * 7 * SECONDS_PER_DAY
+    times, hours = _grid(duration, interval_s)
+    day_index = (times // SECONDS_PER_DAY).astype(int) % 7
+    weekday = day_index < 5
+    shape = 0.3 + 0.7 * _bump(hours, 13.5, sharpness)
+    shape = np.where(weekday, shape, weekend_fraction * shape)
+    return LoadTrace(times, shape, name="weekly").normalized(average, peak)
+
+
+def flat_trace(
+    level: float = 0.5,
+    duration_s: float = days(2.0),
+    interval_s: float = DEFAULT_INTERVAL_S,
+) -> LoadTrace:
+    """A constant load: the control case where time shifting buys nothing."""
+    if not 0.0 <= level <= 1.0:
+        raise WorkloadError("level must be in [0, 1]")
+    times, _ = _grid(duration_s, interval_s)
+    return LoadTrace(times, np.full(len(times), level), name="flat")
+
+
+def bursty_trace(
+    duration_s: float = days(2.0),
+    interval_s: float = DEFAULT_INTERVAL_S,
+    burst_hours: tuple[float, ...] = (11.0, 15.0, 21.0),
+    burst_magnitude: float = 0.5,
+    burst_width_hours: float = 0.5,
+    average: float = 0.5,
+    peak: float = 0.95,
+) -> LoadTrace:
+    """A diurnal base plus short deterministic flash-crowd spikes."""
+    if burst_magnitude < 0:
+        raise WorkloadError("burst magnitude must be non-negative")
+    if burst_width_hours <= 0:
+        raise WorkloadError("burst width must be positive")
+    times, hours = _grid(duration_s, interval_s)
+    shape = 0.3 + 0.55 * _bump(hours, 13.5, 2.5)
+    for burst_hour in burst_hours:
+        distance = np.minimum(
+            np.abs(hours - burst_hour), 24.0 - np.abs(hours - burst_hour)
+        )
+        shape = shape + burst_magnitude * np.exp(
+            -0.5 * (distance / burst_width_hours) ** 2
+        )
+    return LoadTrace(times, shape, name="bursty").normalized(average, peak)
+
+
+#: Scenario registry used by the trace-shape sensitivity study.
+SCENARIOS = {
+    "diurnal": diurnal_trace,
+    "double_peak": double_peak_trace,
+    "bursty": bursty_trace,
+}

@@ -1,0 +1,176 @@
+"""Load traces: time series of normalized datacenter utilization.
+
+A :class:`LoadTrace` maps time (seconds) to offered load as a fraction of
+cluster capacity, in [0, 1]. Traces support the normalization the paper
+applies to the Google data ("normalized for a 50% average load and 95%
+peak load"), resampling, tiling to longer horizons, and interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A piecewise-linear utilization trace.
+
+    ``times_s`` must be strictly increasing and start at 0; ``values`` are
+    offered load fractions, non-negative (values above 1 represent demand
+    exceeding capacity and are legal — the simulator decides what happens
+    to the excess).
+    """
+
+    times_s: np.ndarray
+    values: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times_s, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "values", values)
+        if times.ndim != 1 or values.ndim != 1:
+            raise WorkloadError("trace arrays must be one-dimensional")
+        if len(times) != len(values):
+            raise WorkloadError(
+                f"times ({len(times)}) and values ({len(values)}) differ in length"
+            )
+        if len(times) < 2:
+            raise WorkloadError("a trace needs at least two samples")
+        if not np.all(np.diff(times) > 0):
+            raise WorkloadError("trace times must be strictly increasing")
+        if abs(times[0]) > 1e-9:
+            raise WorkloadError(f"trace must start at t=0, got {times[0]}")
+        if np.any(values < 0):
+            raise WorkloadError("trace values must be non-negative")
+        if not np.all(np.isfinite(values)):
+            raise WorkloadError("trace values must be finite")
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Trace horizon in seconds."""
+        return float(self.times_s[-1])
+
+    @property
+    def peak(self) -> float:
+        """Maximum load."""
+        return float(np.max(self.values))
+
+    @property
+    def average(self) -> float:
+        """Time-weighted average load (trapezoidal)."""
+        return float(
+            np.trapezoid(self.values, self.times_s) / self.duration_s
+        )
+
+    def value_at(self, time_s: float | np.ndarray) -> float | np.ndarray:
+        """Load at a time (linear interpolation, clamped at the ends)."""
+        return np.interp(time_s, self.times_s, self.values)
+
+    def as_schedule(self):
+        """Callable time -> load, clipped to [0, 1] for direct use as a
+        server utilization schedule."""
+
+        def schedule(time_s: float) -> float:
+            return float(np.clip(self.value_at(time_s), 0.0, 1.0))
+
+        return schedule
+
+    # -- transforms -----------------------------------------------------------
+
+    def normalized(self, average: float = 0.5, peak: float = 0.95) -> "LoadTrace":
+        """Affinely rescale so the trace has the given average and peak.
+
+        This is the paper's normalization of the Google trace. The affine
+        map ``a * x + b`` preserves the shape; it exists whenever the trace
+        is not constant. Raises if the result would leave [0, ∞).
+        """
+        if not 0.0 < average < peak:
+            raise WorkloadError(
+                f"need 0 < average < peak, got average={average}, peak={peak}"
+            )
+        current_peak = self.peak
+        current_average = self.average
+        if current_peak - current_average < 1e-12:
+            raise WorkloadError("cannot normalize a constant trace")
+        scale = (peak - average) / (current_peak - current_average)
+        offset = average - scale * current_average
+        values = scale * self.values + offset
+        if np.any(values < 0):
+            raise WorkloadError(
+                "normalization drives the trace negative; requested "
+                "average/peak are incompatible with its shape"
+            )
+        return LoadTrace(self.times_s.copy(), values, name=self.name)
+
+    def scaled(self, factor: float) -> "LoadTrace":
+        """Multiply the trace by a constant factor."""
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be non-negative, got {factor}")
+        return LoadTrace(self.times_s.copy(), self.values * factor, name=self.name)
+
+    def resampled(self, interval_s: float) -> "LoadTrace":
+        """Resample onto a regular grid of the given interval."""
+        if interval_s <= 0:
+            raise WorkloadError(f"interval must be positive, got {interval_s}")
+        n = int(np.floor(self.duration_s / interval_s)) + 1
+        times = np.arange(n) * interval_s
+        return LoadTrace(times, self.value_at(times), name=self.name)
+
+    def tiled(self, repetitions: int) -> "LoadTrace":
+        """Repeat the trace end-to-end (diurnal cycles over many days).
+
+        The first sample of each repetition is dropped to keep times
+        strictly increasing; the trace should be periodic for this to make
+        physical sense.
+        """
+        if repetitions <= 0:
+            raise WorkloadError(f"repetitions must be positive, got {repetitions}")
+        if repetitions == 1:
+            return self
+        times = [self.times_s]
+        values = [self.values]
+        for i in range(1, repetitions):
+            times.append(self.times_s[1:] + i * self.duration_s)
+            values.append(self.values[1:])
+        return LoadTrace(
+            np.concatenate(times), np.concatenate(values), name=self.name
+        )
+
+    def shifted(self, offset_s: float) -> "LoadTrace":
+        """Rotate the trace in time (periodic shift), preserving both the
+        t=0 origin and the full period so the duration is unchanged."""
+        period = self.duration_s
+        times = np.asarray(self.times_s)
+        shifted_times = np.mod(times - offset_s, period)
+        order = np.argsort(shifted_times, kind="stable")
+        new_times = shifted_times[order]
+        new_values = np.asarray(self.values)[order]
+        # Re-anchor at zero.
+        if new_times[0] > 1e-9:
+            new_times = np.concatenate([[0.0], new_times])
+            new_values = np.concatenate([[new_values[-1]], new_values])
+        # Deduplicate any coincident points introduced by the wrap.
+        keep = np.concatenate([[True], np.diff(new_times) > 1e-9])
+        new_times = new_times[keep]
+        new_values = new_values[keep]
+        # Close the period so the shifted trace spans the same horizon.
+        if new_times[-1] < period - 1e-9:
+            new_times = np.concatenate([new_times, [period]])
+            new_values = np.concatenate([new_values, [new_values[0]]])
+        return LoadTrace(new_times, new_values, name=self.name)
+
+    def __add__(self, other: "LoadTrace") -> "LoadTrace":
+        """Pointwise sum on the union grid of both traces."""
+        if not isinstance(other, LoadTrace):
+            return NotImplemented
+        times = np.union1d(self.times_s, other.times_s)
+        values = self.value_at(times) + other.value_at(times)
+        return LoadTrace(times, values, name=f"{self.name}+{other.name}")

@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Expensive artifacts (platform characterizations, the two-day Google
+trace) are session-scoped: they are pure functions of the configuration
+and deterministic, so sharing them across tests changes nothing but the
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.server.characterization import characterize_platform
+from repro.server.configs import (
+    open_compute_blade,
+    one_u_commodity,
+    two_u_commodity,
+)
+from repro.workload.google import synthesize_google_trace
+from repro.workload.trace import LoadTrace
+from repro.units import hours
+
+
+@pytest.fixture(scope="session")
+def one_u_spec():
+    """The 1U low-power platform."""
+    return one_u_commodity()
+
+
+@pytest.fixture(scope="session")
+def two_u_spec():
+    """The 2U high-throughput platform."""
+    return two_u_commodity()
+
+
+@pytest.fixture(scope="session")
+def ocp_spec():
+    """The Open Compute blade platform."""
+    return open_compute_blade()
+
+
+@pytest.fixture(scope="session")
+def all_specs(one_u_spec, two_u_spec, ocp_spec):
+    """All three platforms keyed by short name."""
+    return {"1u": one_u_spec, "2u": two_u_spec, "ocp": ocp_spec}
+
+
+@pytest.fixture(scope="session")
+def one_u_characterization(one_u_spec):
+    """Lumped characterization of the 1U platform."""
+    return characterize_platform(one_u_spec)
+
+
+@pytest.fixture(scope="session")
+def google_trace():
+    """The full two-day Google-like trace."""
+    return synthesize_google_trace()
+
+
+@pytest.fixture(scope="session")
+def short_diurnal_trace():
+    """A compact single-day diurnal trace for fast simulator tests."""
+    times = np.arange(0, hours(24.0) + 1, 600.0)
+    hour = times / 3600.0
+    values = 0.5 + 0.45 * np.sin(2 * np.pi * (hour - 7.0) / 24.0)
+    return LoadTrace(times, np.clip(values, 0.05, 0.95), name="short-diurnal")

@@ -1,0 +1,96 @@
+"""Tests for trace comparison metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import compare_traces, phase_activity_hours
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        trace = np.array([1.0, 2.0, 3.0])
+        comparison = compare_traces(trace, trace)
+        assert comparison.mean_abs_difference == 0.0
+        assert comparison.rmse == 0.0
+        assert comparison.correlation == pytest.approx(1.0)
+
+    def test_constant_offset(self):
+        reference = np.array([1.0, 2.0, 3.0])
+        comparison = compare_traces(reference, reference + 0.5)
+        assert comparison.mean_difference == pytest.approx(0.5)
+        assert comparison.mean_abs_difference == pytest.approx(0.5)
+        assert comparison.correlation == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        reference = np.array([1.0, 2.0, 3.0])
+        comparison = compare_traces(reference, -reference)
+        assert comparison.correlation == pytest.approx(-1.0)
+
+    def test_constant_traces_correlation_convention(self):
+        constant = np.ones(5)
+        assert compare_traces(constant, constant * 1.0).correlation == 1.0
+        varying = np.array([1.0, 2.0, 1.0, 2.0, 1.0])
+        assert compare_traces(constant, varying).correlation == 0.0
+
+    def test_within_tolerance(self):
+        reference = np.zeros(4)
+        comparison = compare_traces(reference, reference + 0.2)
+        assert comparison.within(0.25)
+        assert not comparison.within(0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_traces(np.zeros(3), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            compare_traces(np.zeros(1), np.zeros(1))
+
+    def test_max_abs_difference(self):
+        comparison = compare_traces(
+            np.array([0.0, 0.0, 0.0]), np.array([0.1, -0.4, 0.2])
+        )
+        assert comparison.max_abs_difference == pytest.approx(0.4)
+
+
+class TestPhaseActivity:
+    def test_absorb_release_split(self):
+        times = np.arange(5) * 3600.0
+        heat = np.array([0.0, 5.0, 5.0, -3.0, 0.0])
+        absorbing, releasing = phase_activity_hours(times, heat)
+        assert absorbing == pytest.approx(2.0)
+        assert releasing == pytest.approx(1.0)
+
+    def test_threshold_filters_noise(self):
+        times = np.arange(3) * 3600.0
+        heat = np.array([0.2, 0.3, -0.1])
+        absorbing, releasing = phase_activity_hours(times, heat, threshold_w=0.5)
+        assert absorbing == 0.0 and releasing == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase_activity_hours(np.zeros(3), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            phase_activity_hours(np.zeros(3), np.zeros(3), threshold_w=-1.0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.split("\n")
+        assert lines[0].startswith("a  ")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.startswith("My Table\n")
+
+    def test_cells_stringified(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only one"]])

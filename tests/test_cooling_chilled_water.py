@@ -1,0 +1,138 @@
+"""Tests for the chilled-water-tank baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.chilled_water import (
+    WATER_DENSITY,
+    WATER_SPECIFIC_HEAT,
+    ChilledWaterTank,
+    shave_with_tank,
+    tank_matching_pcm_capacity,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def tank():
+    return ChilledWaterTank(
+        volume_m3=2.0,
+        temperature_swing_k=8.0,
+        standing_loss_fraction_per_day=0.10,
+        pump_power_w=500.0,
+    )
+
+
+def square_load(peak_w=10_000.0, base_w=4_000.0, peak_hours=(10, 16)):
+    times = np.arange(1, 48 * 60 + 1) * 60.0
+    hour = (times / 3600.0) % 24.0
+    load = np.where(
+        (hour >= peak_hours[0]) & (hour < peak_hours[1]), peak_w, base_w
+    )
+    return times, load
+
+
+class TestTank:
+    def test_capacity_sensible_heat(self, tank):
+        expected = 2.0 * WATER_DENSITY * WATER_SPECIFIC_HEAT * 8.0
+        assert tank.capacity_j == pytest.approx(expected)
+
+    def test_capital_cost_scales_with_capacity(self, tank):
+        double = ChilledWaterTank(volume_m3=4.0, temperature_swing_k=8.0)
+        assert double.capital_cost_usd == pytest.approx(
+            2 * tank.capital_cost_usd
+        )
+
+    def test_discharge_unlimited_without_hx(self, tank):
+        assert tank.max_discharge_w(0.5) == np.inf
+        assert tank.max_discharge_w(0.0) == 0.0
+
+    def test_discharge_ua_limited(self):
+        tank = ChilledWaterTank(
+            volume_m3=1.0, temperature_swing_k=8.0, discharge_ua_w_per_k=100.0
+        )
+        assert tank.max_discharge_w(1.0) == pytest.approx(800.0)
+        assert tank.max_discharge_w(0.5) == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChilledWaterTank(volume_m3=0.0)
+        with pytest.raises(ConfigurationError):
+            ChilledWaterTank(volume_m3=1.0, standing_loss_fraction_per_day=1.0)
+        with pytest.raises(ConfigurationError):
+            ChilledWaterTank(volume_m3=1.0, pump_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChilledWaterTank(volume_m3=1.0).max_discharge_w(2.0)
+
+
+class TestShaving:
+    def test_peak_is_shaved(self, tank):
+        times, load = square_load()
+        result = shave_with_tank(times, load, tank, plant_capacity_w=8_000.0)
+        # The tank (16.7 kWh th) covers 2 kW of excess for over 8 h: the
+        # plant never sees more than its capacity while charge remains.
+        assert result.peak_w < np.max(load)
+        assert result.peak_reduction_fraction > 0.0
+
+    def test_recharges_off_peak(self, tank):
+        times, load = square_load()
+        result = shave_with_tank(times, load, tank, plant_capacity_w=8_000.0)
+        hour = (times / 3600.0) % 24.0
+        overnight = int(np.argmax(hour >= 6.0))  # after a night of recharge
+        assert result.charge_fraction[overnight] > 0.9
+
+    def test_standing_losses_accrue_even_unused(self, tank):
+        times = np.arange(1, 24 * 60 + 1) * 60.0
+        load = np.full(len(times), 1_000.0)  # never above capacity
+        result = shave_with_tank(times, load, tank, plant_capacity_w=10_000.0)
+        # The environment leaks ~10%/day of the charge, which the plant
+        # must continuously make up.
+        assert result.standing_loss_j > 0.05 * tank.capacity_j
+
+    def test_pump_energy_positive_when_cycling(self, tank):
+        times, load = square_load()
+        result = shave_with_tank(times, load, tank, plant_capacity_w=8_000.0)
+        assert result.pump_energy_j > 0.0
+
+    def test_charge_bounded(self, tank):
+        times, load = square_load()
+        result = shave_with_tank(times, load, tank, plant_capacity_w=8_000.0)
+        assert np.all(result.charge_fraction >= 0.0)
+        assert np.all(result.charge_fraction <= 1.0)
+
+    def test_energy_conservation(self, tank):
+        # Heat seen by the plant = server heat + standing loss made up,
+        # within the residual charge difference.
+        times, load = square_load()
+        result = shave_with_tank(times, load, tank, plant_capacity_w=8_000.0)
+        dt = np.diff(times, prepend=times[0])
+        plant_heat = float(np.sum(result.shaved_load_w * dt))
+        server_heat = float(np.sum(load * dt))
+        charge_change = (result.charge_fraction[-1] - 1.0) * tank.capacity_j
+        assert plant_heat == pytest.approx(
+            server_heat + result.standing_loss_j + charge_change,
+            rel=1e-6,
+        )
+
+    def test_validation(self, tank):
+        with pytest.raises(ConfigurationError):
+            shave_with_tank(np.zeros(3), np.zeros(4), tank, 1000.0)
+        times, load = square_load()
+        with pytest.raises(ConfigurationError):
+            shave_with_tank(times, load, tank, plant_capacity_w=0.0)
+
+
+class TestMatchingSizer:
+    def test_matches_pcm_joules(self):
+        tank = tank_matching_pcm_capacity(192_000.0, 1008)
+        assert tank.capacity_j == pytest.approx(192_000.0 * 1008, rel=1e-9)
+
+    def test_overrides_forwarded(self):
+        tank = tank_matching_pcm_capacity(
+            192_000.0, 1008, pump_power_w=750.0
+        )
+        assert tank.pump_power_w == pytest.approx(750.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tank_matching_pcm_capacity(0.0, 10)

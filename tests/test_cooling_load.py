@@ -1,0 +1,91 @@
+"""Tests for cooling load series and peak comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.load import CoolingLoadSeries, compare_peaks
+from repro.errors import ConfigurationError
+
+
+def series(values, label="test", interval=3600.0):
+    values = np.asarray(values, dtype=float)
+    times = np.arange(len(values)) * interval
+    return CoolingLoadSeries(times_s=times, load_w=values, label=label)
+
+
+class TestSeries:
+    def test_peak_and_time(self):
+        s = series([10.0, 50.0, 20.0])
+        assert s.peak_w == 50.0
+        assert s.peak_time_s == 3600.0
+
+    def test_average_trapezoidal(self):
+        s = series([0.0, 10.0])
+        assert s.average_w() == pytest.approx(5.0)
+
+    def test_energy(self):
+        s = series([10.0, 10.0, 10.0])
+        assert s.energy_j() == pytest.approx(10.0 * 7200.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoolingLoadSeries(np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            CoolingLoadSeries(np.array([0.0]), np.array([1.0]))
+
+    def test_from_simulation(
+        self, one_u_characterization, one_u_spec, short_diurnal_trace
+    ):
+        from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+        from repro.dcsim.cluster import ClusterTopology
+        from repro.materials.library import COMMERCIAL_PARAFFIN
+
+        result = DatacenterSimulator(
+            one_u_characterization,
+            one_u_spec.power_model,
+            COMMERCIAL_PARAFFIN,
+            short_diurnal_trace,
+            topology=ClusterTopology(server_count=8),
+            config=SimulationConfig(),
+        ).run()
+        s = CoolingLoadSeries.from_simulation(result)
+        assert len(s.load_w) == len(result.times_s)
+
+
+class TestCompare:
+    def test_peak_reduction(self):
+        baseline = series([100.0, 200.0, 100.0, 100.0])
+        pcm = series([100.0, 180.0, 110.0, 100.0])
+        comparison = compare_peaks(baseline, pcm)
+        assert comparison.peak_reduction_fraction == pytest.approx(0.10)
+
+    def test_repayment_accounting(self):
+        baseline = series([100.0, 200.0, 100.0, 100.0, 100.0])
+        pcm = series([100.0, 180.0, 115.0, 112.0, 100.0])
+        comparison = compare_peaks(baseline, pcm)
+        assert comparison.repayment_hours == pytest.approx(2.0)
+        assert comparison.repayment_peak_w == pytest.approx(15.0)
+
+    def test_repayment_threshold_ignores_drips(self):
+        baseline = series([100.0, 200.0, 100.0, 100.0])
+        pcm = series([100.0, 180.0, 100.5, 100.0])  # 0.5 W drip
+        comparison = compare_peaks(baseline, pcm)
+        assert comparison.repayment_hours == 0.0
+
+    def test_residual_energy_near_zero_for_closed_cycle(self):
+        baseline = series([100.0, 200.0, 100.0, 100.0])
+        pcm = series([100.0, 150.0, 150.0, 100.0])
+        comparison = compare_peaks(baseline, pcm)
+        assert comparison.residual_energy_j == pytest.approx(0.0, abs=1e-9)
+
+    def test_mismatched_time_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_peaks(series([1.0, 2.0]), series([1.0, 2.0, 3.0]))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_peaks(
+                series([1.0, 2.0]),
+                series([1.0, 2.0]),
+                repayment_threshold_fraction=-0.1,
+            )

@@ -1,0 +1,63 @@
+"""Tests for PCM-enabled provisioning gains."""
+
+import pytest
+
+from repro.cooling.load import PeakComparison
+from repro.cooling.provisioning import (
+    added_servers_under_same_plant,
+    smaller_plant_for_same_servers,
+)
+from repro.errors import ConfigurationError
+
+
+def comparison(baseline=100_000.0, pcm=90_000.0):
+    return PeakComparison(
+        baseline_peak_w=baseline,
+        pcm_peak_w=pcm,
+        repayment_hours=7.0,
+        repayment_peak_w=5_000.0,
+        residual_energy_j=0.0,
+    )
+
+
+class TestSmallerPlant:
+    def test_capacity_saved(self):
+        assert smaller_plant_for_same_servers(comparison()) == pytest.approx(
+            10_000.0
+        )
+
+    def test_harmful_wax_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smaller_plant_for_same_servers(comparison(pcm=110_000.0))
+
+
+class TestAddedServers:
+    def test_reciprocal_rule(self):
+        # 12% reduction -> 1/(1-0.12) - 1 = 13.6% more servers; the paper
+        # rounds this scenario to 14.6% with second-order effects.
+        gain = added_servers_under_same_plant(
+            comparison(pcm=88_000.0), current_server_count=1008
+        )
+        assert gain.fleet_growth_fraction == pytest.approx(0.1364, abs=1e-3)
+        assert gain.additional_servers == int(0.1364 * 1008)
+
+    def test_paper_1u_numbers(self):
+        # 8.9% reduction -> +9.77% servers (paper: +9.8%).
+        gain = added_servers_under_same_plant(
+            comparison(pcm=91_100.0), current_server_count=55_440
+        )
+        assert gain.fleet_growth_fraction == pytest.approx(0.098, abs=0.002)
+
+    def test_zero_reduction_zero_growth(self):
+        gain = added_servers_under_same_plant(
+            comparison(pcm=100_000.0), current_server_count=1008
+        )
+        assert gain.additional_servers == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            added_servers_under_same_plant(comparison(), current_server_count=0)
+        with pytest.raises(ConfigurationError):
+            added_servers_under_same_plant(
+                comparison(pcm=120_000.0), current_server_count=10
+            )

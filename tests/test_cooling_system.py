@@ -1,0 +1,61 @@
+"""Tests for the cooling plant model."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.load import CoolingLoadSeries
+from repro.cooling.system import CoolingSystem, Subscription
+from repro.errors import ConfigurationError
+
+
+def series(values):
+    values = np.asarray(values, dtype=float)
+    return CoolingLoadSeries(np.arange(len(values)) * 3600.0, values)
+
+
+class TestCoolingSystem:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(capacity_w=0.0)
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(capacity_w=100.0, coefficient_of_performance=0.0)
+
+    def test_sized_for_peak(self):
+        plant = CoolingSystem.sized_for(series([50.0, 100.0]), margin=0.1)
+        assert plant.capacity_w == pytest.approx(110.0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoolingSystem.sized_for(series([50.0]), margin=-0.1)
+
+    def test_subscription_classification(self):
+        load = series([50.0, 100.0])
+        assert CoolingSystem(100.0).subscription_for(load) is (
+            Subscription.FULLY_SUBSCRIBED
+        )
+        assert CoolingSystem(80.0).subscription_for(load) is (
+            Subscription.OVERSUBSCRIBED
+        )
+
+    def test_can_remove(self):
+        load = series([50.0, 100.0])
+        assert CoolingSystem(100.0).can_remove(load)
+        assert not CoolingSystem(99.0).can_remove(load)
+
+    def test_violation_hours(self):
+        load = series([50.0, 120.0, 130.0, 50.0])
+        assert CoolingSystem(100.0).violation_hours(load) == pytest.approx(2.0)
+
+    def test_electrical_power_cop(self):
+        plant = CoolingSystem(1000.0, coefficient_of_performance=4.0)
+        assert plant.electrical_power_w(800.0) == pytest.approx(200.0)
+
+    def test_electrical_power_rejects_negative_load(self):
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(1000.0).electrical_power_w(-1.0)
+
+    def test_resized_preserves_cop(self):
+        plant = CoolingSystem(1000.0, coefficient_of_performance=3.5)
+        smaller = plant.resized(880.0)
+        assert smaller.capacity_w == pytest.approx(880.0)
+        assert smaller.coefficient_of_performance == pytest.approx(3.5)

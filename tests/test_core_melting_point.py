@@ -1,0 +1,77 @@
+"""Tests for the melting-point optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.melting_point import optimize_melting_point
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.simulator import SimulationConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def search(one_u_spec, one_u_characterization, google_trace):
+    """One shared coarse search for the whole module."""
+    return optimize_melting_point(
+        one_u_characterization,
+        one_u_spec.power_model,
+        google_trace.total,
+        topology=ClusterTopology(server_count=128),
+        window_c=(40.0, 50.0),
+        step_c=1.0,
+    )
+
+
+class TestSearch:
+    def test_candidates_cover_window(self, search):
+        assert search.candidates_c[0] == pytest.approx(40.0)
+        assert search.candidates_c[-1] == pytest.approx(50.0)
+
+    def test_best_is_argmin(self, search):
+        best_index = int(np.argmin(search.peak_cooling_w))
+        assert search.best_melting_point_c == pytest.approx(
+            search.candidates_c[best_index]
+        )
+        assert search.best_peak_w == pytest.approx(
+            search.peak_cooling_w[best_index]
+        )
+
+    def test_best_never_exceeds_baseline(self, search):
+        assert search.best_peak_w <= search.baseline_peak_w
+
+    def test_reduction_meaningful(self, search):
+        # The optimized wax clips several percent off the 1U peak.
+        assert search.best_reduction_fraction > 0.04
+
+    def test_best_in_expected_band(self, search):
+        # The 1U wax-zone swing puts the optimum in the low 40s: the wax
+        # "begins to melt when a server exceeds 75% load".
+        assert 41.0 <= search.best_melting_point_c <= 46.0
+
+
+class TestValidation:
+    def test_inverted_window_rejected(
+        self, one_u_characterization, google_trace
+    ):
+        from repro.server.configs import one_u_commodity
+
+        with pytest.raises(ConfigurationError):
+            optimize_melting_point(
+                one_u_characterization,
+                one_u_commodity().power_model,
+                google_trace.total,
+                window_c=(50.0, 40.0),
+            )
+
+    def test_wax_disabled_config_rejected(
+        self, one_u_characterization, google_trace
+    ):
+        from repro.server.configs import one_u_commodity
+
+        with pytest.raises(ConfigurationError):
+            optimize_melting_point(
+                one_u_characterization,
+                one_u_commodity().power_model,
+                google_trace.total,
+                config=SimulationConfig(wax_enabled=False),
+            )

@@ -1,0 +1,52 @@
+"""Tests for cluster topology."""
+
+import numpy as np
+import pytest
+
+from repro.dcsim.cluster import ClusterTopology
+from repro.errors import ConfigurationError
+
+
+class TestTopology:
+    def test_defaults_paper_cluster(self):
+        topo = ClusterTopology()
+        assert topo.server_count == 1008
+
+    def test_rack_count_rounds_up(self):
+        topo = ClusterTopology(server_count=100, servers_per_rack=40)
+        assert topo.rack_count == 3
+
+    def test_rack_of(self):
+        topo = ClusterTopology(server_count=100, servers_per_rack=40)
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(39) == 0
+        assert topo.rack_of(40) == 1
+        assert topo.rack_of(99) == 2
+
+    def test_rack_of_out_of_range(self):
+        topo = ClusterTopology(server_count=10, servers_per_rack=5)
+        with pytest.raises(ConfigurationError):
+            topo.rack_of(10)
+
+    def test_rack_totals(self):
+        topo = ClusterTopology(server_count=4, servers_per_rack=2)
+        totals = topo.rack_totals(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(totals, [3.0, 7.0])
+
+    def test_rack_totals_shape_checked(self):
+        topo = ClusterTopology(server_count=4, servers_per_rack=2)
+        with pytest.raises(ConfigurationError):
+            topo.rack_totals(np.zeros(5))
+
+    def test_extrapolation(self):
+        topo = ClusterTopology(server_count=1008, clusters_in_datacenter=55)
+        assert topo.datacenter_servers == 55_440
+        assert topo.extrapolate(100.0) == pytest.approx(5500.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(server_count=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(servers_per_rack=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(clusters_in_datacenter=0)

@@ -1,0 +1,55 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.dcsim.events import EventKind, EventQueue
+from repro.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.TICK)
+        queue.push(1.0, EventKind.ARRIVAL)
+        queue.push(3.0, EventKind.END)
+        times = [queue.pop().time_s for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, EventKind.ARRIVAL, payload="first")
+        second = queue.push(2.0, EventKind.ARRIVAL, payload="second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+        assert first.sequence < second.sequence
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(7.0, EventKind.TICK)
+        assert queue.peek_time() == 7.0
+        assert len(queue) == 1
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventKind.TICK)
+
+    def test_payload_round_trip(self):
+        queue = EventQueue()
+        payload = {"job": 42}
+        queue.push(1.0, EventKind.ARRIVAL, payload=payload)
+        assert queue.pop().payload is payload
+
+    def test_len_tracks_contents(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(float(i), EventKind.TICK)
+        assert len(queue) == 5
+        queue.pop()
+        assert len(queue) == 4

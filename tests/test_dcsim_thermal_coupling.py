@@ -1,0 +1,158 @@
+"""Tests for the vectorized cluster thermal state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcsim.thermal_coupling import (
+    ClusterThermalState,
+    melt_fraction_array,
+    temperature_at_enthalpy_array,
+)
+from repro.errors import ConfigurationError
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.server.characterization import LumpedServerModel
+
+
+@pytest.fixture
+def material():
+    return commercial_paraffin_with_melting_point(43.0)
+
+
+@pytest.fixture
+def cluster_state(one_u_spec, one_u_characterization, material):
+    return ClusterThermalState(
+        characterization=one_u_characterization,
+        power_model=one_u_spec.power_model,
+        material=material,
+        server_count=16,
+    )
+
+
+class TestVectorizedEnthalpyMap:
+    @given(h=st.floats(min_value=-2e5, max_value=4e5))
+    @settings(max_examples=200)
+    def test_matches_scalar_material(self, h):
+        material = commercial_paraffin_with_melting_point(43.0)
+        vector = temperature_at_enthalpy_array(material, np.array([h]))
+        scalar = material.temperature_at_enthalpy(h)
+        assert vector[0] == pytest.approx(scalar, abs=1e-9)
+
+    @given(h=st.floats(min_value=-2e5, max_value=4e5))
+    @settings(max_examples=200)
+    def test_melt_fraction_matches_scalar(self, h):
+        material = commercial_paraffin_with_melting_point(43.0)
+        vector = melt_fraction_array(material, np.array([h]))
+        assert vector[0] == pytest.approx(
+            material.melt_fraction_at_enthalpy(h), abs=1e-12
+        )
+
+    def test_array_shapes_preserved(self, material):
+        h = np.linspace(-1e5, 3e5, 37)
+        assert temperature_at_enthalpy_array(material, h).shape == h.shape
+        assert melt_fraction_array(material, h).shape == h.shape
+
+
+class TestClusterState:
+    def test_initial_state_uniform(self, cluster_state):
+        assert np.allclose(cluster_state.melt_fraction, 0.0)
+        assert np.ptp(cluster_state.zone_temperature_c) == pytest.approx(0.0)
+
+    def test_step_returns_triple(self, cluster_state):
+        u = np.full(16, 0.5)
+        power, release, wax = cluster_state.step(60.0, u, 2.4)
+        assert power.shape == release.shape == wax.shape == (16,)
+        assert np.allclose(power - wax, release)
+
+    def test_power_matches_model(self, cluster_state, one_u_spec):
+        u = np.full(16, 0.75)
+        power, _, _ = cluster_state.step(60.0, u, 2.4)
+        assert power[0] == pytest.approx(
+            one_u_spec.power_model.wall_power_w(0.75)
+        )
+
+    def test_shape_mismatch_rejected(self, cluster_state):
+        with pytest.raises(ConfigurationError):
+            cluster_state.step(60.0, np.zeros(5), 2.4)
+
+    def test_out_of_range_utilization_rejected(self, cluster_state):
+        with pytest.raises(ConfigurationError):
+            cluster_state.step(60.0, np.full(16, 1.5), 2.4)
+
+    def test_wax_disabled_never_exchanges(
+        self, one_u_spec, one_u_characterization, material
+    ):
+        state = ClusterThermalState(
+            one_u_characterization,
+            one_u_spec.power_model,
+            material,
+            server_count=4,
+            wax_enabled=False,
+        )
+        for _ in range(200):
+            _, release, wax = state.step(60.0, np.ones(4), 2.4)
+        assert np.allclose(wax, 0.0)
+        assert np.allclose(release, state.power_model.wall_power_w(1.0))
+
+    def test_sustained_load_melts_wax(self, cluster_state):
+        u = np.ones(16)
+        for _ in range(12 * 60):
+            cluster_state.step(60.0, u, 2.4)
+        assert np.all(cluster_state.melt_fraction > 0.5)
+
+    def test_heterogeneous_utilization_diverges_state(self, cluster_state):
+        u = np.zeros(16)
+        u[:8] = 1.0
+        for _ in range(240):
+            cluster_state.step(60.0, u, 2.4)
+        melt = cluster_state.melt_fraction
+        assert np.all(melt[:8] >= melt[8:])
+        assert melt[:8].max() > melt[8:].max()
+
+    def test_stored_latent_heat_accounting(self, cluster_state):
+        u = np.ones(16)
+        for _ in range(240):
+            cluster_state.step(60.0, u, 2.4)
+        expected = (
+            float(np.sum(cluster_state.melt_fraction))
+            * cluster_state.wax_mass_kg
+            * cluster_state.material.heat_of_fusion_j_per_kg
+        )
+        assert cluster_state.stored_latent_heat_j == pytest.approx(expected)
+
+    def test_inlet_override_propagates(self, cluster_state):
+        cluster_state.inlet_temperature_c = 35.0
+        u = np.full(16, 0.5)
+        for _ in range(240):
+            cluster_state.step(60.0, u, 2.4)
+        # Zone temperatures settle at the hotter inlet plus the delta.
+        expected = 35.0 + cluster_state.characterization.zone_delta_at(0.5)
+        assert np.allclose(cluster_state.zone_temperature_c, expected, atol=0.2)
+
+
+class TestAgainstScalarModel:
+    def test_matches_lumped_server_model(
+        self, one_u_spec, one_u_characterization, material
+    ):
+        """The vectorized cluster state and the scalar LumpedServerModel
+        implement the same physics; drive both identically and compare."""
+        scalar = LumpedServerModel(
+            one_u_characterization, one_u_spec.power_model, material
+        )
+        vector = ClusterThermalState(
+            one_u_characterization,
+            one_u_spec.power_model,
+            material,
+            server_count=3,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            u = float(rng.uniform(0, 1))
+            scalar_result = scalar.step(60.0, u)
+            power, release, wax = vector.step(60.0, np.full(3, u), 2.4)
+            assert power[0] == pytest.approx(scalar_result.power_w, rel=1e-9)
+            assert wax[0] == pytest.approx(scalar_result.wax_heat_w, rel=1e-6, abs=1e-6)
+        assert vector.melt_fraction[0] == pytest.approx(
+            scalar.sample.melt_fraction, abs=1e-9
+        )

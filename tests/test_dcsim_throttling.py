@@ -1,0 +1,156 @@
+"""Tests for thermal-limit policies."""
+
+import numpy as np
+import pytest
+
+from repro.dcsim.room import RoomModel
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.dcsim.throttling import (
+    NoThermalLimit,
+    RoomTemperaturePolicy,
+    ThermalLimitPolicy,
+    busy_fraction,
+    projected_release_w,
+)
+from repro.errors import ConfigurationError
+from repro.materials.library import commercial_paraffin_with_melting_point
+
+
+@pytest.fixture
+def state(one_u_spec, one_u_characterization):
+    return ClusterThermalState(
+        characterization=one_u_characterization,
+        power_model=one_u_spec.power_model,
+        material=commercial_paraffin_with_melting_point(43.0),
+        server_count=8,
+    )
+
+
+class TestHelpers:
+    def test_busy_fraction_at_nominal(self, state):
+        work = np.full(8, 0.6)
+        assert np.allclose(busy_fraction(state, work, 2.4), 0.6)
+
+    def test_busy_fraction_rises_when_downclocked(self, state):
+        work = np.full(8, 0.6)
+        busy = busy_fraction(state, work, 1.6)
+        assert np.allclose(busy, 0.6 / (1.6 / 2.4))
+
+    def test_busy_fraction_clips_at_one(self, state):
+        work = np.full(8, 0.9)
+        assert np.allclose(busy_fraction(state, work, 1.6), 1.0)
+
+    def test_projected_release_counts_wax(self, state):
+        # Heat the zone so the wax absorbs, then the projection must be
+        # below raw power.
+        for _ in range(240):
+            state.step(60.0, np.ones(8), 2.4)
+        work = np.ones(8)
+        release = projected_release_w(state, work, 2.4)
+        power = float(np.sum(state.power_w(np.ones(8), 2.4)))
+        assert release < power
+
+
+class TestNoThermalLimit:
+    def test_always_nominal(self, state):
+        decision = NoThermalLimit().decide(state, np.ones(8))
+        assert decision.frequency_ghz == pytest.approx(2.4)
+        assert decision.utilization_cap == 1.0
+        assert not decision.limited
+
+
+class TestThermalLimitPolicy:
+    def test_nominal_when_release_fits(self, state):
+        generous = ThermalLimitPolicy(capacity_w=1e6)
+        decision = generous.decide(state, np.ones(8))
+        assert decision.frequency_ghz == pytest.approx(2.4)
+
+    def test_downclocks_when_nominal_overruns(self, state, one_u_spec):
+        model = one_u_spec.power_model
+        # Capacity between the min-freq and nominal full-load release.
+        nominal_release = 8 * model.wall_power_w(1.0, 2.4)
+        min_release = 8 * model.wall_power_w(1.0, 1.6)
+        policy = ThermalLimitPolicy(capacity_w=0.5 * (nominal_release + min_release))
+        decision = policy.decide(state, np.ones(8))
+        assert decision.frequency_ghz == pytest.approx(1.6)
+        assert decision.limited
+
+    def test_sheds_when_even_min_overruns(self, state, one_u_spec):
+        model = one_u_spec.power_model
+        min_release = 8 * model.wall_power_w(1.0, 1.6)
+        policy = ThermalLimitPolicy(capacity_w=0.9 * min_release)
+        decision = policy.decide(state, np.ones(8))
+        assert decision.limited
+        assert decision.utilization_cap < 1.0
+        # The cap actually satisfies the limit.
+        capped = np.minimum(
+            busy_fraction(state, np.ones(8), 1.6), decision.utilization_cap
+        )
+        release = float(
+            np.sum(
+                state.power_w(capped, 1.6) - state.wax_exchange_w(capped, 1.6)
+            )
+        )
+        assert release <= policy.capacity_w * (1.0 + policy.tolerance) + 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalLimitPolicy(capacity_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalLimitPolicy(capacity_w=100.0, tolerance=-0.1)
+
+
+class TestRoomTemperaturePolicy:
+    def _room(self, capacity):
+        return RoomModel(
+            cooling_capacity_w=capacity,
+            thermal_mass_j_per_k=1e4,
+            setpoint_c=25.0,
+            max_temperature_c=30.0,
+        )
+
+    def test_nominal_below_limit(self, state):
+        room = self._room(1e6)
+        policy = RoomTemperaturePolicy(room)
+        decision = policy.decide(state, np.ones(8))
+        assert decision.frequency_ghz == pytest.approx(2.4)
+
+    def test_throttles_when_room_over_limit(self, state):
+        room = self._room(1e6)
+        room.temperature_c = 31.0
+        policy = RoomTemperaturePolicy(room)
+        decision = policy.decide(state, np.ones(8))
+        assert decision.frequency_ghz == pytest.approx(1.6)
+        assert decision.limited
+
+    def test_latch_holds_until_cool_and_fitting(self, state, one_u_spec):
+        # Capacity below the nominal release so unthrottling is unsafe.
+        nominal_release = 8 * one_u_spec.power_model.wall_power_w(1.0, 2.4)
+        room = self._room(0.8 * nominal_release)
+        policy = RoomTemperaturePolicy(room, deadband_c=1.0)
+        room.temperature_c = 31.0
+        assert policy.decide(state, np.ones(8)).limited
+        room.temperature_c = 25.0  # cooled, but nominal still does not fit
+        assert policy.decide(state, np.ones(8)).limited
+
+    def test_latch_releases_when_both_conditions_met(self, state):
+        room = self._room(1e6)
+        policy = RoomTemperaturePolicy(room, deadband_c=1.0)
+        room.temperature_c = 31.0
+        assert policy.decide(state, np.ones(8)).limited
+        room.temperature_c = 26.0
+        decision = policy.decide(state, np.zeros(8))
+        assert not decision.limited
+
+    def test_reset_clears_latch(self, state):
+        room = self._room(1e6)
+        policy = RoomTemperaturePolicy(room)
+        room.temperature_c = 31.0
+        policy.decide(state, np.ones(8))
+        policy.reset()
+        room.temperature_c = 25.0
+        assert not policy.decide(state, np.ones(8)).limited
+
+    def test_negative_deadband_rejected(self, state):
+        with pytest.raises(ConfigurationError):
+            RoomTemperaturePolicy(self._room(1e6), deadband_c=-1.0)

@@ -1,0 +1,131 @@
+"""Tests for the experiment registry and the fast experiments.
+
+The heavyweight experiments (fig11, fig12, ablations) are exercised by the
+benchmark harness; here we run the fast ones end-to-end and validate the
+registry plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiment_ids,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_ids_in_paper_order(self):
+        ids = all_experiment_ids()
+        assert ids == [
+            "table1", "table2", "fig1", "fig4", "fig7", "fig9", "fig10",
+            "fig11", "fig12", "ablations", "extensions",
+        ]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_render_contains_summary(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.summary = {"metric": 1.0}
+        result.paper = {"metric": 2.0}
+        text = result.render()
+        assert "metric" in text and "measured" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table1")
+
+    def test_five_material_rows(self, result):
+        headers, rows = result.tables["Table 1"]
+        assert len(rows) == 5
+
+    def test_selection_confirmed(self, result):
+        assert result.summary["selected_is_commercial_paraffin"] == 1.0
+
+    def test_cost_ratio(self, result):
+        assert result.summary["eicosane_cost_ratio"] == pytest.approx(50.0)
+
+    def test_eicosane_bill_over_a_million(self, result):
+        assert result.summary["eicosane_datacenter_wax_usd"] > 1e6
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2")
+
+    def test_three_platform_rows(self, result):
+        headers, rows = result.tables[
+            "Table 2 (per-platform instantiation, $/month)"
+        ]
+        assert len(rows) == 3
+
+    def test_wax_share_below_point_two_percent(self, result):
+        for key, value in result.summary.items():
+            assert value < 0.002, key
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig10")
+
+    def test_normalization(self, result):
+        assert result.summary["average_load"] == pytest.approx(0.5, abs=1e-6)
+        assert result.summary["peak_load"] == pytest.approx(0.95, abs=1e-6)
+
+    def test_components_sum(self, result):
+        assert result.summary["components_sum_to_total"] == 1.0
+
+    def test_series_available_for_plotting(self, result):
+        for name in ("hours", "search", "orkut", "mapreduce", "total"):
+            assert name in result.series
+            assert len(result.series[name]) > 100
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig1")
+
+    def test_peak_flattened(self, result):
+        assert result.summary["peak_flattening_fraction"] > 0.02
+
+    def test_night_release(self, result):
+        assert result.summary["night_release_present"] == 1.0
+
+    def test_daily_cycle_closes(self, result):
+        assert result.summary["wax_completes_daily_cycle"] == 1.0
+
+    def test_pcm_series_never_negative(self, result):
+        assert np.all(result.series["thermal_output_with_pcm_w"] >= 0.0)
+
+
+class TestFig7Quick:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig7", quick=True)
+
+    def test_three_platforms_swept(self, result):
+        for platform in ("1u", "2u", "ocp"):
+            assert f"{platform}_outlet_c" in result.series
+
+    def test_temperatures_monotone_in_blockage(self, result):
+        for platform in ("1u", "2u", "ocp"):
+            outlet = result.series[f"{platform}_outlet_c"]
+            assert np.all(np.diff(outlet) > -0.05)
+
+    def test_1u_cpu_tame_below_50pct(self, result):
+        assert result.summary["1u_cpu_rise_at_50pct_c"] < 3.0
+
+    def test_ocp_hypersensitive(self, result):
+        # The OCP rises faster at 30% blockage than the 2U does at 50%.
+        assert result.summary["ocp_outlet_rise_at_30pct_c"] > (
+            result.summary["2u_outlet_rise_at_50pct_c"]
+        )

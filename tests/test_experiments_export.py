@@ -1,0 +1,72 @@
+"""Tests for experiment result export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import export_result
+from repro.experiments.registry import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(experiment_id="demo", title="Demo experiment")
+    r.series = {
+        "hours": np.array([0.0, 1.0, 2.0]),
+        "load": np.array([0.5, 0.9]),  # shorter on purpose
+    }
+    r.summary = {"metric": 1.5}
+    r.paper = {"metric": 2.0}
+    r.tables = {"t": (["a"], [["x"]])}
+    return r
+
+
+class TestExport:
+    def test_writes_three_files(self, result, tmp_path):
+        written = export_result(result, tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "demo_series.csv", "demo_summary.json", "demo_tables.txt",
+        }
+
+    def test_csv_round_trip(self, result, tmp_path):
+        export_result(result, tmp_path)
+        with open(tmp_path / "demo_series.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["hours", "load"]
+        assert float(rows[1][0]) == 0.0
+        assert float(rows[2][1]) == pytest.approx(0.9)
+        # Ragged series pad with empty cells.
+        assert rows[3][1] == ""
+
+    def test_json_round_trip(self, result, tmp_path):
+        export_result(result, tmp_path)
+        payload = json.loads((tmp_path / "demo_summary.json").read_text())
+        assert payload["summary"]["metric"] == 1.5
+        assert payload["paper"]["metric"] == 2.0
+        assert payload["experiment_id"] == "demo"
+
+    def test_tables_rendered(self, result, tmp_path):
+        export_result(result, tmp_path)
+        text = (tmp_path / "demo_tables.txt").read_text()
+        assert "Demo experiment" in text
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_result(result, target)
+        assert target.exists()
+
+    def test_seriesless_result_still_exports_summary(self, tmp_path):
+        bare = ExperimentResult(experiment_id="bare", title="t")
+        bare.summary = {"x": 1.0}
+        written = export_result(bare, tmp_path)
+        assert any(p.name == "bare_summary.json" for p in written)
+
+    def test_cli_integration(self, tmp_path):
+        from repro.experiments.registry import main
+
+        main(["table1", "--output-dir", str(tmp_path)])
+        assert (tmp_path / "table1_summary.json").exists()

@@ -1,0 +1,164 @@
+"""Cross-module integration tests: the full pipeline, miniaturized."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CoolingLoadStudy,
+    DatacenterSimulator,
+    SimulationConfig,
+    commercial_paraffin_with_melting_point,
+    synthesize_google_trace,
+)
+from repro.cooling.load import CoolingLoadSeries, compare_peaks
+from repro.cooling.provisioning import added_servers_under_same_plant
+from repro.dcsim.cluster import ClusterTopology
+from repro.tco.params import platform_tco_parameters
+from repro.tco.scenarios import smaller_cooling_savings
+
+
+class TestDetailedToLumpedConsistency:
+    """The lumped cluster model must agree with the detailed chassis model
+    it was characterized from."""
+
+    def test_steady_heat_release_matches_wall_power(
+        self, one_u_spec, one_u_characterization
+    ):
+        from repro.dcsim.thermal_coupling import ClusterThermalState
+
+        state = ClusterThermalState(
+            one_u_characterization,
+            one_u_spec.power_model,
+            commercial_paraffin_with_melting_point(50.0),  # never engages
+            server_count=4,
+        )
+        for _ in range(600):
+            power, release, wax = state.step(60.0, np.full(4, 0.75), 2.4)
+        # With the wax out of play and the zone settled, the lumped model
+        # must release exactly what the power model says the server draws.
+        assert release[0] == pytest.approx(
+            one_u_spec.power_model.wall_power_w(0.75), abs=0.2
+        )
+
+    def test_lumped_zone_matches_detailed_steady(
+        self, one_u_spec, one_u_characterization
+    ):
+        from repro.server.chassis import constant_utilization
+        from repro.thermal.steady_state import solve_steady_state
+
+        network = one_u_spec.chassis.build_network(
+            constant_utilization(0.5), placebo=True
+        )
+        detailed = solve_steady_state(network)
+        zone = one_u_spec.wax_loadout.zone
+        lumped = 25.0 + float(one_u_characterization.zone_delta_at(0.5))
+        assert lumped == pytest.approx(
+            detailed.air_temperatures_c[zone], abs=0.3
+        )
+
+
+class TestEndToEndMiniStudy:
+    """Workload -> simulation -> cooling -> provisioning -> dollars."""
+
+    @pytest.fixture(scope="class")
+    def mini(self, one_u_spec, google_trace):
+        return CoolingLoadStudy(
+            one_u_spec,
+            google_trace.total,
+            topology=ClusterTopology(server_count=64),
+            melting_window_c=(41.0, 46.0),
+            melting_step_c=1.0,
+        ).run()
+
+    def test_pipeline_produces_consistent_reduction(self, mini):
+        series_baseline = CoolingLoadSeries.from_simulation(mini.baseline)
+        series_pcm = CoolingLoadSeries.from_simulation(mini.with_pcm)
+        comparison = compare_peaks(series_baseline, series_pcm)
+        assert comparison.peak_reduction_fraction == pytest.approx(
+            mini.peak_reduction_fraction
+        )
+
+    def test_dollars_scale_with_reduction(self, mini):
+        savings = smaller_cooling_savings(mini.peak_reduction_fraction)
+        assert savings.annual_savings_usd == pytest.approx(
+            mini.peak_reduction_fraction * 10_000.0 * 17.5 * 12.0
+        )
+
+    def test_provisioning_consistent_with_comparison(self, mini):
+        gain = added_servers_under_same_plant(mini.comparison, 64)
+        assert gain.additional_servers == mini.provisioning.additional_servers
+
+    def test_tco_params_available_for_platform(self, mini):
+        params = platform_tco_parameters("1u")
+        assert params.server_capex_usd_per_server > 0
+
+
+class TestScaleInvariance:
+    """Cluster results must scale linearly with server count (fluid mode
+    spreads load uniformly, so nothing should depend on N)."""
+
+    def test_peak_reduction_independent_of_cluster_size(
+        self, one_u_spec, one_u_characterization, google_trace
+    ):
+        material = commercial_paraffin_with_melting_point(43.0)
+
+        def reduction(n):
+            peaks = {}
+            for wax in (False, True):
+                peaks[wax] = (
+                    DatacenterSimulator(
+                        one_u_characterization,
+                        one_u_spec.power_model,
+                        material,
+                        google_trace.total,
+                        topology=ClusterTopology(server_count=n),
+                        config=SimulationConfig(wax_enabled=wax),
+                    )
+                    .run()
+                    .peak_cooling_load_w
+                )
+            return 1.0 - peaks[True] / peaks[False]
+
+        assert reduction(32) == pytest.approx(reduction(256), abs=1e-9)
+
+    def test_cooling_load_linear_in_servers(
+        self, one_u_spec, one_u_characterization, google_trace
+    ):
+        material = commercial_paraffin_with_melting_point(43.0)
+
+        def peak(n):
+            return (
+                DatacenterSimulator(
+                    one_u_characterization,
+                    one_u_spec.power_model,
+                    material,
+                    google_trace.total,
+                    topology=ClusterTopology(server_count=n),
+                    config=SimulationConfig(wax_enabled=True),
+                )
+                .run()
+                .peak_cooling_load_w
+            )
+
+        assert peak(128) == pytest.approx(4 * peak(32), rel=1e-9)
+
+
+class TestPublicAPI:
+    def test_quickstart_snippet_works(self, one_u_spec):
+        """The README quickstart must run as written (miniaturized)."""
+        trace = synthesize_google_trace().total
+        outcome = CoolingLoadStudy(
+            one_u_spec,
+            trace,
+            topology=ClusterTopology(server_count=32),
+            melting_window_c=(42.0, 45.0),
+            melting_step_c=1.0,
+        ).run()
+        assert 0.0 < outcome.peak_reduction_fraction < 0.3
+        assert outcome.material.melting_point_c > 35.0
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

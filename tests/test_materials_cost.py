@@ -1,0 +1,86 @@
+"""Tests for the wax cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.cost import WaxCostModel
+from repro.materials.library import COMMERCIAL_PARAFFIN, EICOSANE
+from repro.materials.pcm import PCMMaterial
+from repro.units import liters
+
+
+@pytest.fixture
+def model():
+    return WaxCostModel()
+
+
+class TestValidation:
+    def test_negative_container_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaxCostModel(container_cost_usd_per_liter=-1.0)
+
+    def test_zero_amortization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaxCostModel(amortization_months=0)
+
+    def test_unpriced_material_rejected(self, model):
+        unpriced = PCMMaterial("mystery", 40.0, 2e5, 800.0, 720.0)
+        with pytest.raises(ConfigurationError):
+            model.wax_cost_usd(unpriced, liters(1.0))
+
+
+class TestWaxCost:
+    def test_commercial_liter_cost(self, model):
+        # 1 L = 0.8 kg at $1,500/ton = $1.20.
+        assert model.wax_cost_usd(COMMERCIAL_PARAFFIN, liters(1.0)) == (
+            pytest.approx(1.20)
+        )
+
+    def test_eicosane_50x_more_expensive_per_ton(self, model):
+        commercial = model.wax_cost_usd(COMMERCIAL_PARAFFIN, liters(1.0))
+        eicosane = model.wax_cost_usd(EICOSANE, liters(1.0))
+        ratio = (eicosane / EICOSANE.density_solid_kg_per_m3) / (
+            commercial / COMMERCIAL_PARAFFIN.density_solid_kg_per_m3
+        )
+        assert ratio == pytest.approx(50.0)
+
+    def test_container_cost_scales_with_volume(self, model):
+        assert model.container_cost_usd(liters(2.0)) == pytest.approx(
+            2.0 * model.container_cost_usd(liters(1.0))
+        )
+
+
+class TestPerServerAndFleet:
+    def test_monthly_capex_in_table2_band(self, model):
+        # Table 2: WaxCapEx $0.06-0.10/server/month across 1.2-4 L loads.
+        monthly_small = model.monthly_capex_per_server_usd(
+            COMMERCIAL_PARAFFIN, liters(1.2)
+        )
+        monthly_large = model.monthly_capex_per_server_usd(
+            COMMERCIAL_PARAFFIN, liters(4.0)
+        )
+        assert 0.03 <= monthly_small <= 0.12
+        assert 0.08 <= monthly_large <= 0.35
+
+    def test_eicosane_datacenter_bill_over_a_million(self, model):
+        # "even in a relatively small datacenter the cost of equipping
+        # every server with eicosane would be over a million dollars".
+        bill = model.datacenter_wax_cost_usd(EICOSANE, liters(1.2), 20_000)
+        assert bill > 1_000_000.0
+
+    def test_commercial_datacenter_bill_modest(self, model):
+        bill = model.datacenter_wax_cost_usd(
+            COMMERCIAL_PARAFFIN, liters(1.2), 20_000
+        )
+        assert bill < 100_000.0
+
+    def test_negative_server_count_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.datacenter_wax_cost_usd(COMMERCIAL_PARAFFIN, liters(1.0), -1)
+
+    def test_fleet_cost_linear_in_servers(self, model):
+        one = model.datacenter_wax_cost_usd(COMMERCIAL_PARAFFIN, liters(1.0), 1)
+        thousand = model.datacenter_wax_cost_usd(
+            COMMERCIAL_PARAFFIN, liters(1.0), 1000
+        )
+        assert thousand == pytest.approx(1000 * one)

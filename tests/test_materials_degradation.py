@@ -1,0 +1,95 @@
+"""Tests for the cycling-stability lifetime model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.materials.degradation import (
+    DegradationModel,
+    assess_lifetime,
+)
+from repro.materials.library import Stability
+
+
+class TestDegradationModel:
+    def test_paraffin_anchor_1000_cycles(self):
+        # "negligible deviation from the initial heat of fusion after more
+        # than 1,000 melting cycles".
+        model = DegradationModel.for_stability(Stability.EXCELLENT)
+        assert model.remaining_capacity_fraction(1000) > 0.99
+
+    def test_poor_anchor_100_cycles(self):
+        # Poor-stability classes degrade badly "in as few as 100 cycles".
+        model = DegradationModel.for_stability(Stability.POOR)
+        assert model.remaining_capacity_fraction(100) < 0.75
+
+    def test_monotone_in_cycles(self):
+        model = DegradationModel.for_stability(Stability.GOOD)
+        values = [model.remaining_capacity_fraction(n) for n in (0, 10, 100, 1000)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_zero_cycles_full_capacity(self):
+        model = DegradationModel.for_stability(Stability.VERY_GOOD)
+        assert model.remaining_capacity_fraction(0) == pytest.approx(1.0)
+
+    def test_cycles_to_fraction_inverse(self):
+        model = DegradationModel.for_stability(Stability.POOR)
+        cycles = model.cycles_to_fraction(0.5)
+        assert model.remaining_capacity_fraction(cycles) <= 0.5
+        assert model.remaining_capacity_fraction(cycles - 1) > 0.5
+
+    def test_years_conversion(self):
+        model = DegradationModel.for_stability(Stability.POOR)
+        years = model.years_to_fraction(0.5)
+        assert years == pytest.approx(model.cycles_to_fraction(0.5) / 365.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationModel(retention_per_cycle=0.0)
+        with pytest.raises(ConfigurationError):
+            DegradationModel(retention_per_cycle=1.5)
+        model = DegradationModel.for_stability(Stability.GOOD)
+        with pytest.raises(ConfigurationError):
+            model.remaining_capacity_fraction(-1)
+        with pytest.raises(ConfigurationError):
+            model.cycles_to_fraction(1.5)
+
+    @given(
+        cycles=st.integers(min_value=0, max_value=10_000),
+        stability=st.sampled_from(list(Stability)),
+    )
+    @settings(max_examples=100)
+    def test_capacity_always_in_unit_interval(self, cycles, stability):
+        model = DegradationModel.for_stability(stability)
+        fraction = model.remaining_capacity_fraction(cycles)
+        assert 0.0 < fraction <= 1.0
+
+
+class TestLifetimeAssessment:
+    def test_paraffins_survive_four_years(self):
+        for stability in (Stability.EXCELLENT, Stability.VERY_GOOD):
+            assessment = assess_lifetime(stability)
+            assert assessment.survives_server_lifetime
+
+    def test_poor_classes_fail(self):
+        assessment = assess_lifetime(Stability.POOR)
+        assert not assessment.survives_server_lifetime
+        assert assessment.remaining_capacity_fraction < 0.10
+
+    def test_cycle_count(self):
+        assessment = assess_lifetime(Stability.GOOD, service_years=4.0)
+        assert assessment.cycles == 4 * 365
+
+    def test_faster_cycling_hurts(self):
+        slow = assess_lifetime(Stability.GOOD, cycles_per_day=1.0)
+        fast = assess_lifetime(Stability.GOOD, cycles_per_day=4.0)
+        assert fast.remaining_capacity_fraction < (
+            slow.remaining_capacity_fraction
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            assess_lifetime(Stability.GOOD, service_years=0.0)
+        with pytest.raises(ConfigurationError):
+            assess_lifetime(Stability.GOOD, end_of_life_fraction=1.0)

@@ -1,0 +1,110 @@
+"""Tests for the Table 1 material library."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.library import (
+    COMMERCIAL_PARAFFIN,
+    COMMERCIAL_PARAFFINS,
+    EICOSANE,
+    MATERIAL_CLASSES,
+    METAL_ALLOYS,
+    N_PARAFFINS,
+    SALT_HYDRATES,
+    MaterialClass,
+    Stability,
+    commercial_paraffin_with_melting_point,
+)
+from repro.units import joules_per_gram
+
+
+class TestTable1Rows:
+    def test_five_classes(self):
+        assert len(MATERIAL_CLASSES) == 5
+
+    def test_salt_hydrates_row(self):
+        assert SALT_HYDRATES.melting_temp_range_c == (25.0, 70.0)
+        assert SALT_HYDRATES.corrosive
+        assert SALT_HYDRATES.stability is Stability.POOR
+
+    def test_metal_alloys_melt_too_hot_for_datacenters(self):
+        assert METAL_ALLOYS.melting_temp_range_c[0] >= 300.0
+        assert not METAL_ALLOYS.melting_temp_overlaps(30.0, 60.0)
+
+    def test_n_paraffins_excellent_stability(self):
+        assert N_PARAFFINS.stability is Stability.EXCELLENT
+        assert not N_PARAFFINS.corrosive
+
+    def test_commercial_paraffin_market_window(self):
+        assert COMMERCIAL_PARAFFINS.melting_temp_range_c == (40.0, 60.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaterialClass(
+                name="bad",
+                melting_temp_range_c=(60.0, 40.0),
+                heat_of_fusion_range_j_per_g=(100.0, 200.0),
+                density_range_g_per_ml=(0.7, 0.8),
+                stability=Stability.GOOD,
+                electrical_conductivity=SALT_HYDRATES.electrical_conductivity,
+                corrosive=False,
+            )
+
+    def test_overlap_logic(self):
+        assert SALT_HYDRATES.melting_temp_overlaps(30.0, 60.0)
+        assert not SALT_HYDRATES.melting_temp_overlaps(0.0, 10.0)
+
+
+class TestRepresentativeMaterials:
+    def test_representative_uses_midpoint(self):
+        material = COMMERCIAL_PARAFFINS.representative_material()
+        assert material.melting_point_c == pytest.approx(50.0)
+
+    def test_representative_accepts_in_range_point(self):
+        material = N_PARAFFINS.representative_material(36.6)
+        assert material.melting_point_c == pytest.approx(36.6)
+
+    def test_representative_rejects_out_of_range_point(self):
+        with pytest.raises(ConfigurationError):
+            COMMERCIAL_PARAFFINS.representative_material(80.0)
+
+
+class TestConcreteMaterials:
+    def test_eicosane_paper_values(self):
+        assert EICOSANE.melting_point_c == pytest.approx(36.6)
+        assert EICOSANE.heat_of_fusion_j_per_kg == pytest.approx(
+            joules_per_gram(247.0)
+        )
+        assert EICOSANE.cost_usd_per_tonne == pytest.approx(75_000.0)
+
+    def test_commercial_paraffin_paper_values(self):
+        assert COMMERCIAL_PARAFFIN.melting_point_c == pytest.approx(39.0)
+        assert COMMERCIAL_PARAFFIN.heat_of_fusion_j_per_kg == pytest.approx(
+            joules_per_gram(200.0)
+        )
+
+    def test_cost_ratio_is_50x(self):
+        ratio = EICOSANE.cost_usd_per_tonne / COMMERCIAL_PARAFFIN.cost_usd_per_tonne
+        assert ratio == pytest.approx(50.0)
+
+    def test_energy_penalty_is_about_20_percent(self):
+        penalty = 1.0 - (
+            COMMERCIAL_PARAFFIN.heat_of_fusion_j_per_kg
+            / EICOSANE.heat_of_fusion_j_per_kg
+        )
+        assert penalty == pytest.approx(0.19, abs=0.02)
+
+
+class TestBlendConstructor:
+    @pytest.mark.parametrize("melting_point", [36.0, 39.0, 45.0, 55.0, 60.0])
+    def test_blend_in_window(self, melting_point):
+        material = commercial_paraffin_with_melting_point(melting_point)
+        assert material.melting_point_c == pytest.approx(melting_point)
+        assert material.heat_of_fusion_j_per_kg == (
+            COMMERCIAL_PARAFFIN.heat_of_fusion_j_per_kg
+        )
+
+    @pytest.mark.parametrize("melting_point", [20.0, 34.9, 62.1, 100.0])
+    def test_blend_outside_window_rejected(self, melting_point):
+        with pytest.raises(ConfigurationError):
+            commercial_paraffin_with_melting_point(melting_point)

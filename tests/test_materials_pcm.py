@@ -1,0 +1,207 @@
+"""Tests for the PCM enthalpy-method material model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.materials.pcm import PCMMaterial, PCMSample, PhaseState
+
+
+@pytest.fixture
+def paraffin():
+    return PCMMaterial(
+        name="test paraffin",
+        melting_point_c=39.0,
+        heat_of_fusion_j_per_kg=200_000.0,
+        density_solid_kg_per_m3=800.0,
+        density_liquid_kg_per_m3=720.0,
+        melting_range_c=1.5,
+    )
+
+
+class TestMaterialValidation:
+    def test_negative_fusion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCMMaterial("bad", 39.0, -1.0, 800.0, 720.0)
+
+    def test_zero_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCMMaterial("bad", 39.0, 2e5, 0.0, 720.0)
+
+    def test_zero_melting_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCMMaterial("bad", 39.0, 2e5, 800.0, 720.0, melting_range_c=0.0)
+
+    def test_negative_specific_heat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCMMaterial(
+                "bad", 39.0, 2e5, 800.0, 720.0,
+                specific_heat_solid_j_per_kg_k=-1.0,
+            )
+
+
+class TestTemperatureBounds:
+    def test_solidus_liquidus_bracket_melting_point(self, paraffin):
+        assert paraffin.solidus_c < paraffin.melting_point_c < paraffin.liquidus_c
+
+    def test_melting_interval_width(self, paraffin):
+        assert paraffin.liquidus_c - paraffin.solidus_c == pytest.approx(1.5)
+
+
+class TestEnthalpyMap:
+    def test_zero_enthalpy_at_solidus(self, paraffin):
+        assert paraffin.enthalpy_at_temperature(paraffin.solidus_c) == (
+            pytest.approx(0.0)
+        )
+
+    def test_full_latent_at_liquidus(self, paraffin):
+        assert paraffin.enthalpy_at_temperature(paraffin.liquidus_c) == (
+            pytest.approx(paraffin.heat_of_fusion_j_per_kg)
+        )
+
+    def test_subcooled_solid_negative_enthalpy(self, paraffin):
+        assert paraffin.enthalpy_at_temperature(20.0) < 0.0
+
+    def test_superheated_liquid_exceeds_latent(self, paraffin):
+        h = paraffin.enthalpy_at_temperature(60.0)
+        assert h > paraffin.heat_of_fusion_j_per_kg
+
+    def test_midpoint_half_latent(self, paraffin):
+        h = paraffin.enthalpy_at_temperature(paraffin.melting_point_c)
+        assert h == pytest.approx(0.5 * paraffin.heat_of_fusion_j_per_kg)
+
+    def test_melt_fraction_clamps(self, paraffin):
+        assert paraffin.melt_fraction_at_enthalpy(-1e5) == 0.0
+        assert paraffin.melt_fraction_at_enthalpy(1e9) == 1.0
+
+    def test_melt_fraction_linear_in_mushy_zone(self, paraffin):
+        quarter = 0.25 * paraffin.heat_of_fusion_j_per_kg
+        assert paraffin.melt_fraction_at_enthalpy(quarter) == pytest.approx(0.25)
+
+    def test_effective_specific_heat_spikes_in_mushy_zone(self, paraffin):
+        mushy = paraffin.effective_specific_heat(
+            0.5 * paraffin.heat_of_fusion_j_per_kg
+        )
+        assert mushy > 10 * paraffin.specific_heat_solid_j_per_kg_k
+        assert mushy == pytest.approx(
+            paraffin.heat_of_fusion_j_per_kg / paraffin.melting_range_c
+        )
+
+    @given(temperature=st.floats(min_value=-20.0, max_value=120.0))
+    @settings(max_examples=200)
+    def test_roundtrip_temperature_enthalpy(self, temperature):
+        material = PCMMaterial(
+            "roundtrip", 39.0, 2e5, 800.0, 720.0, melting_range_c=1.5
+        )
+        h = material.enthalpy_at_temperature(temperature)
+        assert material.temperature_at_enthalpy(h) == pytest.approx(
+            temperature, abs=1e-9
+        )
+
+    @given(
+        h1=st.floats(min_value=-2e5, max_value=4e5),
+        h2=st.floats(min_value=-2e5, max_value=4e5),
+    )
+    @settings(max_examples=200)
+    def test_temperature_monotone_in_enthalpy(self, h1, h2):
+        material = PCMMaterial(
+            "monotone", 45.0, 2e5, 800.0, 720.0, melting_range_c=2.0
+        )
+        t1 = material.temperature_at_enthalpy(h1)
+        t2 = material.temperature_at_enthalpy(h2)
+        if h1 < h2:
+            assert t1 <= t2 + 1e-9
+
+    @given(h=st.floats(min_value=-2e5, max_value=4e5))
+    @settings(max_examples=200)
+    def test_melt_fraction_in_unit_interval(self, h):
+        material = PCMMaterial("frac", 45.0, 2e5, 800.0, 720.0)
+        fraction = material.melt_fraction_at_enthalpy(h)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestDerivedQuantities:
+    def test_latent_capacity_of_volume(self, paraffin):
+        # 1 liter at 0.8 kg/L and 200 kJ/kg stores 160 kJ.
+        assert paraffin.latent_capacity_j(1e-3) == pytest.approx(160_000.0)
+
+    def test_mass_for_volume(self, paraffin):
+        assert paraffin.mass_for_volume(1e-3) == pytest.approx(0.8)
+
+    def test_negative_volume_rejected(self, paraffin):
+        with pytest.raises(ConfigurationError):
+            paraffin.mass_for_volume(-1.0)
+
+    def test_volumetric_latent_heat(self, paraffin):
+        assert paraffin.volumetric_latent_heat_j_per_m3 == pytest.approx(1.6e8)
+
+
+class TestSample:
+    def test_from_volume_sets_mass(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3)
+        assert sample.mass_kg == pytest.approx(0.8)
+
+    def test_zero_mass_rejected(self, paraffin):
+        with pytest.raises(ConfigurationError):
+            PCMSample(material=paraffin, mass_kg=0.0)
+
+    def test_initial_temperature_equilibration(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=25.0)
+        assert sample.temperature_c == pytest.approx(25.0)
+        assert sample.phase is PhaseState.SOLID
+
+    def test_phase_transitions_with_heat(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=38.0)
+        assert sample.phase is PhaseState.SOLID
+        sample.add_heat(0.5 * sample.latent_capacity_j + 2000.0)
+        assert sample.phase is PhaseState.MELTING
+        sample.add_heat(sample.latent_capacity_j)
+        assert sample.phase is PhaseState.LIQUID
+
+    def test_heat_bookkeeping_conserved(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=30.0)
+        before = sample.enthalpy_j
+        sample.add_heat(12_345.0)
+        sample.add_heat(-2_345.0)
+        assert sample.enthalpy_j - before == pytest.approx(10_000.0)
+
+    def test_remaining_plus_stored_equals_capacity(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=39.0)
+        total = sample.remaining_latent_capacity_j + sample.stored_latent_heat_j
+        assert total == pytest.approx(sample.latent_capacity_j)
+
+    def test_nonfinite_heat_rejected(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3)
+        with pytest.raises(ConfigurationError):
+            sample.add_heat(math.nan)
+
+    def test_copy_is_independent(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=30.0)
+        clone = sample.copy()
+        clone.add_heat(1e5)
+        assert sample.enthalpy_j != clone.enthalpy_j
+
+    def test_heat_capacity_large_while_melting(self, paraffin):
+        sample = PCMSample.from_volume(paraffin, 1e-3, initial_temperature_c=39.0)
+        melting_capacity = sample.heat_capacity_j_per_k()
+        sample.set_temperature(20.0)
+        solid_capacity = sample.heat_capacity_j_per_k()
+        assert melting_capacity > 10 * solid_capacity
+
+    @given(
+        heats=st.lists(
+            st.floats(min_value=-5e4, max_value=5e4), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=100)
+    def test_melt_fraction_bounded_under_any_heat_sequence(self, heats):
+        material = PCMMaterial(
+            "sequence", 39.0, 2e5, 800.0, 720.0, melting_range_c=1.5
+        )
+        sample = PCMSample.from_volume(material, 1e-3, initial_temperature_c=35.0)
+        for heat in heats:
+            sample.add_heat(heat)
+            assert 0.0 <= sample.melt_fraction <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the Section 2.1 screening and selection logic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.library import (
+    COMMERCIAL_PARAFFINS,
+    FATTY_ACIDS,
+    METAL_ALLOYS,
+    N_PARAFFINS,
+    SALT_HYDRATES,
+)
+from repro.materials.selection import (
+    DatacenterRequirements,
+    paper_selection,
+    screen_material,
+    select_material,
+)
+
+
+class TestRequirements:
+    def test_defaults_are_paper_criteria(self):
+        req = DatacenterRequirements()
+        assert req.melting_window_c == (30.0, 60.0)
+        assert not req.allow_corrosive
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatacenterRequirements(melting_window_c=(60.0, 30.0))
+
+
+class TestScreening:
+    def test_salt_hydrates_fail_on_stability_and_corrosion(self):
+        result = screen_material(SALT_HYDRATES)
+        assert not result.passed
+        joined = " ".join(result.failures)
+        assert "stability" in joined
+        assert "corrosive" in joined
+
+    def test_metal_alloys_fail_on_melting_window(self):
+        result = screen_material(METAL_ALLOYS)
+        assert not result.passed
+        assert any("melting temperature" in f for f in result.failures)
+
+    def test_fatty_acids_fail(self):
+        assert not screen_material(FATTY_ACIDS).passed
+
+    def test_n_paraffins_pass_physical_screens(self):
+        # Without a cost input, eicosane-class material passes everything.
+        assert screen_material(N_PARAFFINS).passed
+
+    def test_n_paraffins_fail_on_cost(self):
+        result = screen_material(N_PARAFFINS, cost_usd_per_tonne=75_000.0)
+        assert not result.passed
+        assert any("cost" in f for f in result.failures)
+
+    def test_commercial_paraffin_passes_with_cost(self):
+        result = screen_material(
+            COMMERCIAL_PARAFFINS, cost_usd_per_tonne=1_500.0
+        )
+        assert result.passed
+
+    def test_relaxed_requirements_admit_salt_hydrates(self):
+        relaxed = DatacenterRequirements(
+            min_stability=SALT_HYDRATES.stability,
+            allow_corrosive=True,
+            allow_conductive=True,
+        )
+        assert screen_material(SALT_HYDRATES, relaxed).passed
+
+    def test_energy_density_computed(self):
+        result = screen_material(COMMERCIAL_PARAFFINS)
+        # 200 J/g * 0.75 g/ml = 150 J/ml.
+        assert result.energy_density_j_per_ml == pytest.approx(150.0)
+
+
+class TestSelection:
+    def test_paper_selection_is_commercial_paraffin(self):
+        assert paper_selection() is COMMERCIAL_PARAFFINS
+
+    def test_select_material_report_structure(self):
+        report = select_material()
+        assert len(report.results) == 5
+        assert report.selected is COMMERCIAL_PARAFFINS
+        assert [r.name for r in report.survivors] == ["Commercial Paraffins"]
+
+    def test_result_lookup_by_name(self):
+        report = select_material()
+        assert report.result_for("Metal Alloys").passed is False
+        with pytest.raises(KeyError):
+            report.result_for("Unobtainium")
+
+    def test_no_survivors_yields_none(self):
+        impossible = DatacenterRequirements(melting_window_c=(200.0, 250.0))
+        report = select_material(impossible)
+        assert report.selected is None
+        assert report.survivors == []
+
+    def test_ignoring_cost_prefers_highest_energy_density(self):
+        # With every physical screen relaxed and cost ignored, salt
+        # hydrates' volumetric density (245 J/g * 1.75 g/ml) wins.
+        relaxed = DatacenterRequirements(
+            min_stability=SALT_HYDRATES.stability,
+            allow_corrosive=True,
+            allow_conductive=True,
+            max_cost_usd_per_tonne=None,
+        )
+        report = select_material(relaxed)
+        assert report.selected is SALT_HYDRATES

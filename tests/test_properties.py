@@ -1,0 +1,169 @@
+"""Property-based suites on system-level invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcsim.thermal_coupling import ClusterThermalState
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.materials.pcm import PCMMaterial
+from repro.server.power import ServerPowerModel
+from repro.thermal.airflow import (
+    FanBank,
+    FanCurve,
+    SystemImpedance,
+    blockage_impedance_coefficient,
+    operating_flow,
+)
+from repro.workload.trace import LoadTrace
+
+
+class TestAirflowProperties:
+    @given(
+        blockage=st.floats(min_value=0.0, max_value=0.95),
+        area=st.floats(min_value=1e-3, max_value=0.5),
+        k_base=st.floats(min_value=0.0, max_value=5e6),
+    )
+    @settings(max_examples=200)
+    def test_blockage_never_increases_flow(self, blockage, area, k_base):
+        bank = FanBank(FanCurve(60.0, 0.004), count=4)
+        base = SystemImpedance(k_base)
+        open_flow = operating_flow(bank, base)
+        extra = blockage_impedance_coefficient(area, blockage)
+        blocked_flow = operating_flow(bank, base.with_added(extra))
+        assert blocked_flow <= open_flow + 1e-15
+
+    @given(
+        s1=st.floats(min_value=0.2, max_value=1.0),
+        s2=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_flow_monotone_in_speed(self, s1, s2):
+        bank = FanBank(FanCurve(60.0, 0.004), count=4)
+        impedance = SystemImpedance(4e5)
+        q1 = operating_flow(bank, impedance, s1)
+        q2 = operating_flow(bank, impedance, s2)
+        if s1 <= s2:
+            assert q1 <= q2 + 1e-15
+
+
+class TestPowerModelProperties:
+    @given(
+        u=st.floats(min_value=0.0, max_value=1.0),
+        f=st.floats(min_value=1.6, max_value=2.4),
+    )
+    @settings(max_examples=200)
+    def test_power_between_idle_and_peak(self, u, f):
+        model = ServerPowerModel(90.0, 185.0)
+        power = model.wall_power_w(u, f)
+        assert 90.0 - 1e-9 <= power <= 185.0 + 1e-9
+
+    @given(
+        u=st.floats(min_value=0.0, max_value=1.0),
+        f1=st.floats(min_value=1.6, max_value=2.4),
+        f2=st.floats(min_value=1.6, max_value=2.4),
+    )
+    @settings(max_examples=200)
+    def test_power_monotone_in_frequency(self, u, f1, f2):
+        model = ServerPowerModel(90.0, 185.0)
+        if f1 <= f2:
+            assert model.wall_power_w(u, f1) <= model.wall_power_w(u, f2) + 1e-9
+
+
+class TestClusterInvariants:
+    @staticmethod
+    def _state(melting=43.0, n=4):
+        material = commercial_paraffin_with_melting_point(melting)
+        return ClusterThermalState(
+            characterization=TestClusterInvariants._characterization,
+            power_model=TestClusterInvariants._power_model,
+            material=material,
+            server_count=n,
+        )
+
+    @pytest.fixture(autouse=True)
+    def _bind(self, one_u_characterization, one_u_spec):
+        TestClusterInvariants._characterization = one_u_characterization
+        TestClusterInvariants._power_model = one_u_spec.power_model
+
+    @given(
+        levels=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=60
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_ledger_closes_for_any_utilization_path(self, levels):
+        """power_in - release = enthalpy banked, for ANY load sequence."""
+        state = self._state()
+        initial = state.specific_enthalpy_j_per_kg.copy()
+        dt = 300.0
+        power_sum = np.zeros(4)
+        release_sum = np.zeros(4)
+        for level in levels:
+            power, release, _ = state.step(dt, np.full(4, level), 2.4)
+            power_sum += power * dt
+            release_sum += release * dt
+        banked = (
+            state.specific_enthalpy_j_per_kg - initial
+        ) * state.wax_mass_kg
+        assert np.allclose(power_sum - release_sum, banked, atol=1e-6)
+
+    @given(
+        levels=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=60
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_melt_fraction_bounded_for_any_path(self, levels):
+        state = self._state()
+        for level in levels:
+            state.step(300.0, np.full(4, level), 2.4)
+            melt = state.melt_fraction
+            assert np.all(melt >= 0.0) and np.all(melt <= 1.0)
+
+    @given(
+        levels=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=40
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_zone_temperature_bounded_by_targets(self, levels):
+        """The first-order zone lag can never overshoot the extreme
+        steady targets."""
+        state = self._state()
+        ch = state.characterization
+        low = 25.0 + float(ch.zone_delta_at(0.0))
+        high = 25.0 + float(ch.zone_delta_at(1.0))
+        for level in levels:
+            state.step(300.0, np.full(4, level), 2.4)
+            assert np.all(state.zone_temperature_c >= low - 1e-6)
+            assert np.all(state.zone_temperature_c <= high + 1e-6)
+
+
+class TestTraceProperties:
+    @given(
+        offset_hours=st.floats(min_value=0.0, max_value=48.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shift_preserves_duration_and_mass(self, offset_hours):
+        times = np.arange(0, 48 * 3600.0 + 1, 1800.0)
+        hours = (times / 3600.0) % 24.0
+        values = 0.4 + 0.3 * np.cos(2 * np.pi * hours / 24.0)
+        trace = LoadTrace(times, values)
+        shifted = trace.shifted(offset_hours * 3600.0)
+        assert shifted.duration_s == pytest.approx(trace.duration_s)
+        # Time-shifting conserves total offered work (up to resampling).
+        assert shifted.average == pytest.approx(trace.average, abs=0.01)
+
+    @given(
+        factor=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=50)
+    def test_scaling_scales_statistics(self, factor):
+        times = np.arange(0, 7200.0 + 1, 600.0)
+        values = np.linspace(0.1, 0.9, len(times))
+        trace = LoadTrace(times, values)
+        scaled = trace.scaled(factor)
+        assert scaled.peak == pytest.approx(factor * trace.peak)
+        assert scaled.average == pytest.approx(factor * trace.average)

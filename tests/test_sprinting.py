@@ -1,0 +1,90 @@
+"""Tests for the computational sprinting comparison model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.library import COMMERCIAL_PARAFFIN, EICOSANE
+from repro.sprinting import SprintChip, run_sprint, sprint_extension_ratio
+
+
+@pytest.fixture
+def chip():
+    return SprintChip()
+
+
+class TestChip:
+    def test_sustainable_power_stays_under_limit(self, chip):
+        assert chip.steady_junction_c(chip.sustainable_power_w) < (
+            chip.junction_limit_c
+        )
+
+    def test_sprint_power_would_exceed_limit_at_steady_state(self, chip):
+        assert chip.steady_junction_c(16.0) > chip.junction_limit_c
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SprintChip(die_heat_capacity_j_per_k=0.0)
+        with pytest.raises(ConfigurationError):
+            SprintChip(junction_limit_c=20.0, ambient_c=25.0)
+        with pytest.raises(ConfigurationError):
+            SprintChip(idle_power_w=2.0, sustainable_power_w=1.0)
+
+    def test_network_has_pcm_node_when_loaded(self, chip):
+        network = chip.build_network(16.0, pcm_grams=10.0)
+        assert network.pcm_names == ["pcm"]
+        bare = chip.build_network(16.0)
+        assert not bare.pcm_names
+
+    def test_negative_pcm_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            chip.build_network(16.0, pcm_grams=-1.0)
+
+
+class TestSprints:
+    def test_bare_sprint_seconds_scale(self, chip):
+        result = run_sprint(chip, 16.0)
+        assert result.hit_limit
+        assert 1.0 < result.duration_s < 120.0
+
+    def test_pcm_extends_sprint(self, chip):
+        ratio = sprint_extension_ratio(chip, 16.0, pcm_grams=10.0, horizon_s=1800.0)
+        assert ratio > 3.0
+
+    def test_more_pcm_longer_sprint(self, chip):
+        small = run_sprint(chip, 16.0, pcm_grams=5.0, horizon_s=1800.0)
+        large = run_sprint(chip, 16.0, pcm_grams=20.0, horizon_s=1800.0)
+        assert large.duration_s > small.duration_s
+
+    def test_sustainable_power_never_limits(self, chip):
+        result = run_sprint(chip, chip.sustainable_power_w, horizon_s=300.0)
+        assert not result.hit_limit
+        assert result.duration_s == pytest.approx(300.0)
+
+    def test_higher_power_shorter_sprint(self, chip):
+        low = run_sprint(chip, 10.0)
+        high = run_sprint(chip, 20.0)
+        assert high.duration_s < low.duration_s
+
+    def test_eicosane_beats_commercial_at_chip_scale(self, chip):
+        """At the chip's ~30-50 degC swing, eicosane's 36.6 degC melting
+        point engages where the 39 degC commercial blend engages slightly
+        later; with equal mass, the higher heat of fusion also wins."""
+        eicosane = run_sprint(
+            chip, 16.0, pcm_grams=10.0, material=EICOSANE, horizon_s=1800.0
+        )
+        commercial = run_sprint(
+            chip, 16.0, pcm_grams=10.0, material=COMMERCIAL_PARAFFIN,
+            horizon_s=1800.0,
+        )
+        assert eicosane.duration_s >= commercial.duration_s
+
+    def test_melt_fraction_reported(self, chip):
+        result = run_sprint(chip, 16.0, pcm_grams=5.0, horizon_s=1800.0)
+        assert result.hit_limit
+        assert result.final_melt_fraction == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self, chip):
+        with pytest.raises(ConfigurationError):
+            run_sprint(chip, 0.0)
+        with pytest.raises(ConfigurationError):
+            run_sprint(chip, 16.0, horizon_s=0.0)

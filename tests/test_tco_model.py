@@ -1,0 +1,82 @@
+"""Tests for the Equation 1 TCO evaluation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.model import monthly_tco
+from repro.tco.params import platform_tco_parameters
+
+
+@pytest.fixture
+def params():
+    return platform_tco_parameters("1u")
+
+
+class TestEquationOne:
+    def test_total_is_sum_of_line_items(self, params):
+        breakdown = monthly_tco(params, 10_000.0, 55_440, with_wax=True)
+        assert breakdown.total_usd_per_month == pytest.approx(
+            sum(breakdown.as_dict().values())
+        )
+
+    def test_annualization(self, params):
+        breakdown = monthly_tco(params, 10_000.0, 55_440)
+        assert breakdown.total_usd_per_year == pytest.approx(
+            12 * breakdown.total_usd_per_month
+        )
+
+    def test_wax_toggle(self, params):
+        without = monthly_tco(params, 10_000.0, 55_440, with_wax=False)
+        with_wax = monthly_tco(params, 10_000.0, 55_440, with_wax=True)
+        assert without.wax_capex == 0.0
+        assert with_wax.wax_capex > 0.0
+        assert with_wax.total_usd_per_month > without.total_usd_per_month
+
+    def test_wax_is_negligible_share_of_server_capex(self, params):
+        # The paper: "WaxCapEx is almost negligible representing less than
+        # 0.1% of the ServerCapEx".
+        breakdown = monthly_tco(params, 10_000.0, 55_440, with_wax=True)
+        assert breakdown.wax_capex / breakdown.server_capex < 0.002
+
+    def test_cooling_capacity_fraction_scales_plant_capex(self, params):
+        full = monthly_tco(params, 10_000.0, 55_440)
+        smaller = monthly_tco(
+            params, 10_000.0, 55_440, cooling_capacity_fraction=0.88
+        )
+        assert smaller.cooling_infra_capex == pytest.approx(
+            0.88 * full.cooling_infra_capex
+        )
+        # Only the plant CapEx changes.
+        assert smaller.power_infra_capex == pytest.approx(full.power_infra_capex)
+
+    def test_energy_utilization_scales_energy_terms(self, params):
+        full = monthly_tco(params, 10_000.0, 55_440)
+        half = monthly_tco(params, 10_000.0, 55_440, utilization_of_energy=0.5)
+        assert half.server_energy_opex == pytest.approx(
+            0.5 * full.server_energy_opex
+        )
+        assert half.cooling_energy_opex == pytest.approx(
+            0.5 * full.cooling_energy_opex
+        )
+        assert half.server_power_opex == pytest.approx(full.server_power_opex)
+
+    def test_10mw_order_of_magnitude(self, params):
+        # A 10 MW datacenter runs a few $M/month (Barroso-scale).
+        breakdown = monthly_tco(params, 10_000.0, 55_440, with_wax=True)
+        assert 2e6 < breakdown.total_usd_per_month < 20e6
+
+    def test_cooling_isolation(self, params):
+        breakdown = monthly_tco(params, 10_000.0, 55_440)
+        assert breakdown.cooling_usd_per_month == pytest.approx(
+            breakdown.cooling_infra_capex + breakdown.cooling_energy_opex
+        )
+
+    def test_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            monthly_tco(params, 0.0, 100)
+        with pytest.raises(ConfigurationError):
+            monthly_tco(params, 100.0, 0)
+        with pytest.raises(ConfigurationError):
+            monthly_tco(params, 100.0, 10, cooling_capacity_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            monthly_tco(params, 100.0, 10, utilization_of_energy=2.0)

@@ -1,0 +1,76 @@
+"""Tests for the Table 2 parameter sets."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.params import (
+    SERVER_AMORTIZATION_MONTHS,
+    TCOParameters,
+    platform_tco_parameters,
+)
+
+
+class TestTable2Ranges:
+    """Each platform's instantiation must land inside Table 2's ranges."""
+
+    @pytest.mark.parametrize("platform", ["1u", "2u", "ocp"])
+    def test_ranged_entries(self, platform):
+        p = platform_tco_parameters(platform)
+        assert 15.9 <= p.power_infra_capex_usd_per_kw <= 16.2
+        assert p.cooling_infra_capex_usd_per_kw == pytest.approx(7.0)
+        assert 19.4 <= p.rest_capex_usd_per_kw <= 21.0
+        assert 31.8 <= p.dc_interest_usd_per_kw <= 36.3
+        # Table 2 rounds $2000/48 = $41.67 up to $42.
+        assert 41.6 <= p.server_capex_usd_per_server <= 146.0
+        assert 0.06 <= p.wax_capex_usd_per_server <= 0.10
+        assert 11.0 <= p.server_interest_usd_per_server <= 38.5
+        assert 20.7 <= p.datacenter_opex_usd_per_kw <= 20.9
+        assert 19.2 <= p.server_energy_opex_usd_per_kw <= 24.9
+        assert p.server_power_opex_usd_per_kw == pytest.approx(12.0)
+        assert p.cooling_energy_opex_usd_per_kw == pytest.approx(18.4)
+        assert 5.7 <= p.rest_opex_usd_per_kw <= 6.6
+
+    def test_server_capex_is_cost_over_48_months(self):
+        assert platform_tco_parameters("1u").server_capex_usd_per_server == (
+            pytest.approx(2000.0 / SERVER_AMORTIZATION_MONTHS)
+        )
+        assert platform_tco_parameters("2u").server_capex_usd_per_server == (
+            pytest.approx(7000.0 / SERVER_AMORTIZATION_MONTHS)
+        )
+
+    def test_interest_ratio_consistent(self):
+        one_u = platform_tco_parameters("1u")
+        two_u = platform_tco_parameters("2u")
+        ratio_1u = one_u.server_interest_usd_per_server / (
+            one_u.server_capex_usd_per_server
+        )
+        ratio_2u = two_u.server_interest_usd_per_server / (
+            two_u.server_capex_usd_per_server
+        )
+        assert ratio_1u == pytest.approx(ratio_2u, abs=0.01)
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            platform_tco_parameters("zseries")
+
+
+class TestParameterObject:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TCOParameters(cooling_infra_capex_usd_per_kw=-1.0)
+
+    def test_without_wax(self):
+        p = platform_tco_parameters("1u").without_wax()
+        assert p.wax_capex_usd_per_server == 0.0
+        assert p.server_capex_usd_per_server > 0.0
+
+    def test_with_wax_capex_override(self):
+        p = platform_tco_parameters("1u").with_wax_capex(0.25)
+        assert p.wax_capex_usd_per_server == pytest.approx(0.25)
+
+    def test_frozen(self):
+        p = platform_tco_parameters("1u")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.cooling_infra_capex_usd_per_kw = 0.0

@@ -1,0 +1,105 @@
+"""Tests for the PCM dollar-savings scenarios against the paper's figures."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.params import platform_tco_parameters
+from repro.tco.scenarios import (
+    retrofit_savings,
+    smaller_cooling_savings,
+    tco_efficiency,
+)
+
+
+class TestSmallerCoolingSavings:
+    @pytest.mark.parametrize(
+        "reduction, paper_usd",
+        [(0.089, 187_000.0), (0.12, 254_000.0), (0.083, 174_000.0)],
+    )
+    def test_paper_annual_savings(self, reduction, paper_usd):
+        savings = smaller_cooling_savings(reduction)
+        assert savings.annual_savings_usd == pytest.approx(paper_usd, rel=0.03)
+
+    def test_linear_in_reduction(self):
+        assert smaller_cooling_savings(0.2).annual_savings_usd == pytest.approx(
+            2 * smaller_cooling_savings(0.1).annual_savings_usd
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            smaller_cooling_savings(-0.1)
+        with pytest.raises(ConfigurationError):
+            smaller_cooling_savings(1.0)
+        with pytest.raises(ConfigurationError):
+            smaller_cooling_savings(0.1, critical_power_kw=0.0)
+
+
+class TestRetrofitSavings:
+    @pytest.mark.parametrize(
+        "growth, servers, paper_usd",
+        [
+            (0.098, 55_440, 3.0e6),
+            (0.146, 19_152, 3.2e6),
+            (0.089, 29_232, 3.1e6),
+        ],
+    )
+    def test_paper_annual_savings(self, growth, servers, paper_usd):
+        savings = retrofit_savings(growth, server_count=servers)
+        assert savings.annual_savings_usd == pytest.approx(paper_usd, rel=0.08)
+
+    def test_wax_bill_subtracted(self):
+        free = retrofit_savings(0.1, server_count=0)
+        with_wax = retrofit_savings(
+            0.1, server_count=50_000, wax_capex_usd_per_server_month=0.10
+        )
+        assert with_wax.annual_savings_usd == pytest.approx(
+            free.annual_savings_usd - 50_000 * 0.10 * 12
+        )
+
+    def test_avoided_cost_exceeds_8m_for_10mw(self):
+        # The paper: cooling infrastructure "can cost over 8 million
+        # dollars" at this scale.
+        savings = retrofit_savings(0.0, server_count=0)
+        assert savings.avoided_system_cost_usd > 8e6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            retrofit_savings(-0.1)
+        with pytest.raises(ConfigurationError):
+            retrofit_savings(0.1, remaining_years=0)
+
+
+class TestTCOEfficiency:
+    @pytest.mark.parametrize(
+        "platform, gain, servers, paper",
+        [
+            ("1u", 0.33, 55_440, 0.23),
+            ("2u", 0.69, 19_152, 0.39),
+            ("ocp", 0.34, 29_232, 0.24),
+        ],
+    )
+    def test_paper_improvements(self, platform, gain, servers, paper):
+        result = tco_efficiency(
+            platform_tco_parameters(platform), gain, server_count=servers
+        )
+        assert result.improvement_fraction == pytest.approx(paper, abs=0.025)
+
+    def test_zero_gain_zero_improvement(self):
+        result = tco_efficiency(platform_tco_parameters("1u"), 0.0)
+        assert result.improvement_fraction == pytest.approx(0.0, abs=1e-3)
+
+    def test_matched_fleet_is_scaled(self):
+        result = tco_efficiency(
+            platform_tco_parameters("1u"), 0.5, server_count=1000
+        )
+        assert result.matched_tco.server_capex == pytest.approx(
+            1.5 * result.pcm_tco.server_capex, rel=1e-3
+        )
+        # The facility footprint is held fixed.
+        assert result.matched_tco.facility_space_capex == pytest.approx(
+            result.pcm_tco.facility_space_capex
+        )
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tco_efficiency(platform_tco_parameters("1u"), -0.1)

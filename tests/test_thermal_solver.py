@@ -1,0 +1,214 @@
+"""Tests for the transient solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.materials.pcm import PCMSample
+from repro.thermal.airflow import AirPath, AirSegment, FanBank, FanCurve, SystemImpedance
+from repro.thermal.convection import ConvectiveCoupling
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.solver import simulate_transient, stable_step_s
+from repro.units import hours
+
+
+def rc_network(power_w=10.0, capacity=200.0, conductance=0.5):
+    network = ThermalNetwork("rc")
+    network.add_boundary_node("ambient", 25.0)
+    network.add_capacitive_node("node", capacity, 25.0, power_w=power_w)
+    network.add_conductance("node", "ambient", conductance)
+    return network
+
+
+def wax_network(melting_point=39.0, wax_liters=0.1, air_temp=50.0):
+    network = ThermalNetwork("wax")
+    network.add_boundary_node("hot", air_temp)
+    material = commercial_paraffin_with_melting_point(melting_point)
+    sample = PCMSample.from_volume(material, wax_liters * 1e-3, 25.0)
+    network.add_pcm_node("wax", sample)
+    network.add_conductance("wax", "hot", 1.0)
+    return network, sample
+
+
+class TestAnalyticAgreement:
+    def test_first_order_step_response(self):
+        # Single RC node: T(t) = T_inf + (T0 - T_inf) exp(-t/tau).
+        network = rc_network()
+        tau = 200.0 / 0.5
+        result = simulate_transient(network, 4 * tau, output_interval_s=tau / 10)
+        expected = 45.0 + (25.0 - 45.0) * np.exp(-result.times_s / tau)
+        assert np.max(np.abs(result.temperatures_c["node"] - expected)) < 0.05
+
+    def test_equilibrium_reached(self):
+        network = rc_network()
+        result = simulate_transient(network, hours(2.0), output_interval_s=60.0)
+        assert result.temperatures_c["node"][-1] == pytest.approx(45.0, abs=0.01)
+
+    def test_energy_conservation_without_pcm(self):
+        # Power in = heat to boundary + energy stored in the node.
+        network = rc_network()
+        result = simulate_transient(network, hours(1.0), output_interval_s=30.0)
+        temps = result.temperatures_c["node"]
+        stored = 200.0 * (temps[-1] - temps[0])
+        to_ambient = np.trapezoid(0.5 * (temps - 25.0), result.times_s)
+        power_in = 10.0 * result.times_s[-1]
+        assert stored + to_ambient == pytest.approx(power_in, rel=5e-3)
+
+
+class TestPCMDynamics:
+    def test_wax_melts_through_plateau(self):
+        network, sample = wax_network()
+        result = simulate_transient(network, hours(20.0), output_interval_s=120.0)
+        melt = result.melt_fractions["wax"]
+        assert melt[0] == pytest.approx(0.0)
+        assert melt[-1] == pytest.approx(1.0)
+        # Temperature eventually approaches the boundary.
+        assert result.temperatures_c["wax"][-1] == pytest.approx(50.0, abs=0.3)
+
+    def test_latent_energy_budget(self):
+        network, sample = wax_network()
+        result = simulate_transient(
+            network, hours(20.0), output_interval_s=120.0, commit_final_state=True
+        )
+        # Total enthalpy change equals integral of conductive heat flow.
+        heat = 1.0 * (50.0 - result.temperatures_c["wax"])
+        integrated = np.trapezoid(heat, result.times_s)
+        delta_h = result.pcm_enthalpies_j["wax"][-1] - result.pcm_enthalpies_j["wax"][0]
+        # Tolerance bounded by trapezoidal sampling of the heat trace, not
+        # by the solver: the RK4 state itself conserves energy exactly.
+        assert delta_h == pytest.approx(integrated, rel=1e-2)
+
+    def test_melting_plateau_visible(self):
+        network, _ = wax_network()
+        result = simulate_transient(network, hours(20.0), output_interval_s=120.0)
+        temps = result.temperatures_c["wax"]
+        melt = result.melt_fractions["wax"]
+        mushy = (melt > 0.1) & (melt < 0.9)
+        assert np.any(mushy)
+        # Temperature barely moves across the bulk of the melt.
+        assert np.ptp(temps[mushy]) < 1.5
+
+    def test_refreezing_releases_heat(self):
+        network, sample = wax_network(air_temp=50.0)
+        sample.set_temperature(50.0)  # start fully molten
+        cold = ThermalNetwork("cold")
+        cold.add_boundary_node("cold", 20.0)
+        cold.add_pcm_node("wax", sample)
+        cold.add_conductance("wax", "cold", 1.0)
+        result = simulate_transient(cold, hours(20.0), output_interval_s=120.0)
+        assert result.melt_fractions["wax"][-1] == pytest.approx(0.0)
+
+    def test_commit_final_state_roundtrip(self):
+        network, sample = wax_network()
+        before = sample.enthalpy_j
+        simulate_transient(network, hours(1.0), output_interval_s=60.0)
+        assert sample.enthalpy_j == before  # untouched by default
+        simulate_transient(
+            network, hours(1.0), output_interval_s=60.0, commit_final_state=True
+        )
+        assert sample.enthalpy_j > before
+
+
+class TestResultAPI:
+    def test_times_hours(self):
+        network = rc_network()
+        result = simulate_transient(network, 7200.0, output_interval_s=3600.0)
+        assert result.times_hours[-1] == pytest.approx(2.0)
+
+    def test_temperature_lookup(self):
+        network = rc_network()
+        result = simulate_transient(network, 600.0, output_interval_s=60.0)
+        assert len(result.temperature("node")) == len(result.times_s)
+        with pytest.raises(KeyError):
+            result.temperature("ghost")
+
+    def test_final_temperatures(self):
+        network = rc_network()
+        result = simulate_transient(network, 600.0, output_interval_s=60.0)
+        finals = result.final_temperatures()
+        assert "node" in finals and "ambient" in finals
+
+    def test_heat_release_to_air_balances_power(self):
+        # Without PCM, release equals electrical power.
+        network = rc_network()
+        result = simulate_transient(network, 600.0, output_interval_s=60.0)
+        assert np.allclose(result.heat_release_to_air_w(), result.power_w)
+
+
+class TestGuards:
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(rc_network(), 0.0)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(rc_network(), 100.0, output_interval_s=0.0)
+
+    def test_bad_max_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(rc_network(), 100.0, max_step_s=-1.0)
+
+    def test_stable_step_positive(self):
+        assert stable_step_s(rc_network()) > 0.0
+
+    def test_stable_step_safety_validated(self):
+        with pytest.raises(ConfigurationError):
+            stable_step_s(rc_network(), safety=0.0)
+
+
+class TestCompiledAgainstReference:
+    def test_compiled_rhs_matches_network_rhs(self, one_u_spec):
+        """The fast array evaluator and the readable dict evaluator must
+        produce identical derivatives on a full chassis network."""
+        from repro.server.chassis import constant_utilization
+        from repro.thermal.solver import _CompiledNetwork
+
+        network = one_u_spec.chassis.build_network(
+            constant_utilization(0.7), with_wax=True
+        )
+        compiled = _CompiledNetwork(network)
+        state = network.initial_state()
+        # Perturb the state so flows are non-trivial.
+        rng = np.random.default_rng(3)
+        state = state + rng.uniform(0, 5, size=state.shape)
+        for time_s in (0.0, 1800.0, 7200.0):
+            reference = network.state_derivative(state, time_s)
+            fast = compiled.rhs(state, time_s)
+            assert np.allclose(reference, fast, rtol=1e-12, atol=1e-12)
+
+
+class TestBDFCrossCheck:
+    def test_bdf_matches_rk4_on_wax_network(self):
+        """Two independent integrators (explicit fixed-step RK4 and SciPy's
+        implicit BDF) must agree on the same compiled physics."""
+        import numpy as np
+
+        network_a, _ = wax_network()
+        network_b, _ = wax_network()
+        rk4 = simulate_transient(network_a, hours(10.0), output_interval_s=300.0)
+        bdf = simulate_transient(
+            network_b, hours(10.0), output_interval_s=300.0, method="bdf"
+        )
+        assert np.max(np.abs(rk4.temperatures_c["wax"] - bdf.temperatures_c["wax"])) < 0.1
+        assert np.max(np.abs(rk4.melt_fractions["wax"] - bdf.melt_fractions["wax"])) < 0.01
+
+    def test_bdf_on_full_chassis(self, one_u_spec):
+        import numpy as np
+        from repro.server.chassis import step_utilization
+
+        schedule = step_utilization(0.0, 1.0, hours(0.5), hours(3.0))
+        rk4_net = one_u_spec.chassis.build_network(schedule, with_wax=True)
+        bdf_net = one_u_spec.chassis.build_network(schedule, with_wax=True)
+        rk4 = simulate_transient(rk4_net, hours(5.0), output_interval_s=300.0)
+        bdf = simulate_transient(
+            bdf_net, hours(5.0), output_interval_s=300.0, method="bdf"
+        )
+        for name in rk4.temperatures_c:
+            assert np.max(
+                np.abs(rk4.temperatures_c[name] - bdf.temperatures_c[name])
+            ) < 0.2, name
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(rc_network(), 100.0, method="euler")

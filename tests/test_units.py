@@ -1,0 +1,93 @@
+"""Unit conversion sanity checks."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_hours_to_seconds(self):
+        assert units.hours(2.0) == 7200.0
+
+    def test_minutes_to_seconds(self):
+        assert units.minutes(3.0) == 180.0
+
+    def test_days_to_seconds(self):
+        assert units.days(1.0) == 86400.0
+
+    def test_to_hours_roundtrip(self):
+        assert units.to_hours(units.hours(5.5)) == pytest.approx(5.5)
+
+
+class TestEnergy:
+    def test_kwh_joules(self):
+        assert units.kwh(1.0) == 3.6e6
+
+    def test_to_kwh_roundtrip(self):
+        assert units.to_kwh(units.kwh(2.5)) == pytest.approx(2.5)
+
+    def test_joules_per_gram(self):
+        # The paper's 200 J/g commercial paraffin is 200 kJ/kg.
+        assert units.joules_per_gram(200.0) == 200_000.0
+
+
+class TestMassVolume:
+    def test_liters(self):
+        assert units.liters(1.0) == pytest.approx(1e-3)
+
+    def test_liters_roundtrip(self):
+        assert units.to_liters(units.liters(4.2)) == pytest.approx(4.2)
+
+    def test_milliliters(self):
+        assert units.milliliters(90.0) == pytest.approx(9e-5)
+
+    def test_grams(self):
+        assert units.grams(70.0) == pytest.approx(0.07)
+
+    def test_grams_per_ml(self):
+        # Paraffin at 0.8 g/ml is 800 kg/m^3.
+        assert units.grams_per_ml(0.8) == pytest.approx(800.0)
+
+
+class TestAirflow:
+    def test_cfm_roundtrip(self):
+        assert units.to_cfm(units.cfm(100.0)) == pytest.approx(100.0)
+
+    def test_cfm_magnitude(self):
+        # 1 CFM is about 0.47 liters per second.
+        assert units.cfm(1.0) == pytest.approx(4.719e-4, rel=1e-3)
+
+    def test_lfm(self):
+        # The OCP blade's <200 LFM is close to 1 m/s.
+        assert units.lfm(200.0) == pytest.approx(1.016, rel=1e-3)
+
+
+class TestTemperature:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(39.0)) == (
+            pytest.approx(39.0)
+        )
+
+    def test_absolute_zero(self):
+        assert units.celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+
+class TestConstants:
+    def test_air_volumetric_heat_capacity(self):
+        assert units.AIR_VOLUMETRIC_HEAT_CAPACITY == pytest.approx(
+            units.AIR_DENSITY * units.AIR_SPECIFIC_HEAT
+        )
+
+    def test_air_heat_capacity_magnitude(self):
+        # ~1.15 kJ/(m^3 K) for warm air.
+        assert 1000.0 < units.AIR_VOLUMETRIC_HEAT_CAPACITY < 1300.0
+
+    def test_rack_units(self):
+        assert units.rack_units(2.0) == pytest.approx(0.0889)
+
+    def test_aluminum_properties_physical(self):
+        assert units.ALUMINUM_DENSITY == pytest.approx(2700.0)
+        assert units.ALUMINUM_CONDUCTIVITY > 100.0
+        assert not math.isnan(units.ALUMINUM_SPECIFIC_HEAT)

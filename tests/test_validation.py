@@ -1,0 +1,108 @@
+"""Tests for the Figure 4 validation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.server.chassis import step_utilization
+from repro.thermal.solver import simulate_transient
+from repro.units import hours
+from repro.validation.harness import run_validation
+from repro.validation.reference import (
+    DEFAULT_SENSORS,
+    build_reference_server,
+    validation_loadout,
+    validation_wax_box,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared validation run (the harness runs four 25 h transients)."""
+    return run_validation(output_interval_s=300.0)
+
+
+class TestReferenceServer:
+    def test_validation_wax_is_70_grams(self):
+        loadout = validation_loadout()
+        assert loadout.total_mass_kg == pytest.approx(0.070, rel=1e-6)
+
+    def test_box_leaves_headspace(self):
+        box = validation_wax_box()
+        interior = 0.10 * 0.06 * 0.018
+        assert box.wax_volume_m3 < interior
+
+    def test_finer_segmentation_than_coarse_model(self):
+        server = build_reference_server()
+        network = server.build_network(
+            step_utilization(0.0, 1.0, 100.0, 200.0), with_wax=True
+        )
+        assert len(network.air_path.segments) == 6
+        # DIMMs are individually modeled.
+        assert network.has_node("dimm[9]")
+        # CPU die and sink are distinct.
+        assert network.has_node("cpu_die[0]") and network.has_node("cpu_sink[0]")
+
+    def test_sensor_noise_deterministic(self):
+        server = build_reference_server(noise_seed=11)
+        network = server.build_network(
+            step_utilization(0.0, 1.0, 600.0, 1800.0), with_wax=True
+        )
+        result = simulate_transient(network, hours(1.0), output_interval_s=300.0)
+        first = server.read_sensors(result)
+        second = server.read_sensors(result)
+        for name in first:
+            assert np.array_equal(first[name], second[name])
+
+    def test_sensor_names_match_paper_placement(self):
+        names = {sensor.name for sensor in DEFAULT_SENSORS}
+        assert "near_box" in names and "outlet" in names
+
+    def test_reference_power_reconciles(self, one_u_spec):
+        server = build_reference_server()
+        network = server.build_network(
+            step_utilization(0.0, 1.0, 0.0, 1e9), with_wax=False, placebo=True
+        )
+        assert network.total_power_w(10.0) == pytest.approx(
+            one_u_spec.power_model.wall_power_w(1.0), rel=1e-9
+        )
+
+
+class TestHarness:
+    def test_four_arms(self, report):
+        assert set(report.arms) == {
+            "real-wax", "real-placebo", "model-wax", "model-placebo",
+        }
+
+    def test_steady_state_agreement(self, report):
+        # The paper reports a 0.22 degC mean difference; our independent
+        # reference model agrees within half a degree.
+        assert report.steady_mean_abs_difference_c < 0.5
+
+    def test_transient_correlation(self, report):
+        assert report.heating_comparison.correlation > 0.99
+        assert report.cooling_comparison.correlation > 0.99
+
+    def test_wax_effect_hours_scale(self, report):
+        # Paper: roughly two hours of melt effect and two of freeze.
+        assert 1.0 <= report.wax_melt_effect_hours <= 5.0
+        assert 1.0 <= report.wax_freeze_effect_hours <= 5.0
+
+    def test_wax_depresses_heating_trace(self, report):
+        real_wax = report.arm("real", True).sensor_traces["near_box"]
+        real_placebo = report.arm("real", False).sensor_traces["near_box"]
+        times = report.arm("real", True).result.times_s
+        # During the melt window (shortly after load starts) the wax arm
+        # reads cooler than the placebo.
+        window = (times > hours(1.2)) & (times < hours(2.5))
+        assert np.mean(real_wax[window]) < np.mean(real_placebo[window]) - 0.2
+
+    def test_wax_elevates_cooling_trace(self, report):
+        real_wax = report.arm("real", True).sensor_traces["near_box"]
+        real_placebo = report.arm("real", False).sensor_traces["near_box"]
+        times = report.arm("real", True).result.times_s
+        window = (times > hours(13.2)) & (times < hours(14.5))
+        assert np.mean(real_wax[window]) > np.mean(real_placebo[window]) + 0.2
+
+    def test_steady_tables_cover_sensors(self, report):
+        assert set(report.steady_state_real_c) == set(report.steady_state_model_c)
+        assert len(report.steady_state_real_c) == 3

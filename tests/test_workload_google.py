@@ -1,0 +1,113 @@
+"""Tests for the synthetic Google trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.google import synthesize_google_trace
+
+
+class TestNormalization:
+    def test_paper_targets(self, google_trace):
+        assert google_trace.total.average == pytest.approx(0.5, abs=1e-6)
+        assert google_trace.total.peak == pytest.approx(0.95, abs=1e-6)
+
+    def test_two_day_horizon(self, google_trace):
+        assert google_trace.total.duration_s == pytest.approx(48 * 3600.0)
+
+    def test_never_negative(self, google_trace):
+        for trace in (
+            google_trace.total,
+            google_trace.search,
+            google_trace.orkut,
+            google_trace.mapreduce,
+        ):
+            assert np.all(trace.values >= 0.0)
+
+
+class TestComposition:
+    def test_components_sum_to_total(self, google_trace):
+        total = (
+            google_trace.search.values
+            + google_trace.orkut.values
+            + google_trace.mapreduce.values
+        )
+        assert np.allclose(total, google_trace.total.values)
+
+    def test_search_dominates(self, google_trace):
+        assert google_trace.search.average > google_trace.orkut.average
+        assert google_trace.search.average > google_trace.mapreduce.average
+
+    def test_class_fraction_sums_to_one(self, google_trace):
+        t = 3600.0 * 13.0
+        fractions = [
+            google_trace.class_fraction_at(name, t)
+            for name in ("search", "orkut", "mapreduce")
+        ]
+        assert sum(fractions) == pytest.approx(1.0)
+
+
+class TestShape:
+    def test_diurnal_repeats(self, google_trace):
+        total = google_trace.total
+        day = 24 * 3600.0
+        probes = np.arange(0, day, 1800.0)
+        day1 = total.value_at(probes)
+        day2 = total.value_at(probes + day)
+        # The deterministic texture repeats daily within its amplitude.
+        assert np.max(np.abs(day1 - day2)) < 0.15
+
+    def test_midday_peak(self, google_trace):
+        total = google_trace.total
+        peak_hour = (total.times_s[np.argmax(total.values)] / 3600.0) % 24.0
+        assert 10.0 <= peak_hour <= 18.0
+
+    def test_overnight_trough(self, google_trace):
+        total = google_trace.total
+        hours = (total.times_s / 3600.0) % 24.0
+        night = (hours >= 2.0) & (hours <= 6.0)
+        day = (hours >= 11.0) & (hours <= 16.0)
+        assert np.mean(total.values[night]) < 0.5 * np.mean(total.values[day])
+
+    def test_mapreduce_batch_is_nocturnal(self, google_trace):
+        values = google_trace.mapreduce.values
+        hours = (google_trace.mapreduce.times_s / 3600.0) % 24.0
+        night = (hours >= 0.0) & (hours <= 5.0)
+        day = (hours >= 12.0) & (hours <= 17.0)
+        # Batch load share is relatively higher at night.
+        night_share = np.mean(
+            values[night] / google_trace.total.values[night]
+        )
+        day_share = np.mean(values[day] / google_trace.total.values[day])
+        assert night_share > day_share
+
+
+class TestParameters:
+    def test_deterministic_given_seed(self):
+        a = synthesize_google_trace(seed=42)
+        b = synthesize_google_trace(seed=42)
+        assert np.array_equal(a.total.values, b.total.values)
+
+    def test_different_seed_different_texture(self):
+        a = synthesize_google_trace(seed=1)
+        b = synthesize_google_trace(seed=2)
+        assert not np.array_equal(a.total.values, b.total.values)
+
+    def test_custom_normalization(self):
+        components = synthesize_google_trace(average=0.4, peak=0.8)
+        assert components.total.average == pytest.approx(0.4)
+        assert components.total.peak == pytest.approx(0.8)
+
+    def test_sub_day_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_google_trace(duration_s=3600.0)
+
+    def test_unknown_class_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_google_trace(class_weights={"bitcoin": 1.0})
+
+    def test_custom_weights_shift_composition(self):
+        heavy_batch = synthesize_google_trace(
+            class_weights={"mapreduce": 0.6, "search": 0.2, "orkut": 0.2}
+        )
+        assert heavy_batch.mapreduce.average > heavy_batch.search.average

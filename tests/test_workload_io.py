@@ -1,0 +1,83 @@
+"""Tests for trace CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.io import load_trace, save_trace
+from repro.workload.trace import LoadTrace
+
+
+@pytest.fixture
+def trace():
+    times = np.arange(0, 3600.0 + 1, 600.0)
+    values = np.linspace(0.2, 0.9, len(times))
+    return LoadTrace(times, values, name="fixture")
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "trace.csv")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.times_s, trace.times_s)
+        assert np.array_equal(loaded.values, trace.values)
+
+    def test_name_from_stem(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "my_workload.csv")
+        assert load_trace(path).name == "my_workload"
+
+    def test_name_override(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "x.csv")
+        assert load_trace(path, name="override").name == "override"
+
+    def test_creates_parent_directories(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "a" / "b" / "trace.csv")
+        assert path.exists()
+
+    def test_google_trace_round_trips(self, google_trace, tmp_path):
+        path = save_trace(google_trace.total, tmp_path / "google.csv")
+        loaded = load_trace(path)
+        assert loaded.average == pytest.approx(google_trace.total.average)
+        assert loaded.peak == pytest.approx(google_trace.total.peak)
+
+
+class TestRobustReading:
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0.0,0.5\n600.0,0.7\n")
+        loaded = load_trace(path)
+        assert loaded.value_at(600.0) == pytest.approx(0.7)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("time_s,load\n\n0.0,0.5\n\n600.0,0.7\n")
+        assert len(load_trace(path).times_s) == 2
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_non_numeric_data_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,load\n0.0,0.5\nbanana,0.7\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "narrow.csv"
+        path.write_text("0.0\n600.0\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_too_few_samples_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time_s,load\n0.0,0.5\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_trace_contract_enforced_on_load(self, tmp_path):
+        # Unsorted times violate the LoadTrace contract.
+        path = tmp_path / "unsorted.csv"
+        path.write_text("0.0,0.5\n600.0,0.7\n300.0,0.6\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)

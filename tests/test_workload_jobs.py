@@ -1,0 +1,99 @@
+"""Tests for job classes and arrival generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.jobs import (
+    DEFAULT_JOB_CLASSES,
+    JobClass,
+    generate_arrivals,
+)
+from repro.workload.trace import LoadTrace
+
+
+def flat_trace(level=0.5, duration=24 * 3600.0):
+    times = np.array([0.0, duration])
+    return LoadTrace(times, np.array([level, level + 1e-9]))
+
+
+class TestJobClass:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            JobClass(name="bad", service_time_s=0.0)
+        with pytest.raises(WorkloadError):
+            JobClass(name="bad", service_time_s=10.0, weight=-1.0)
+
+    def test_defaults_mirror_paper_workloads(self):
+        names = {jc.name for jc in DEFAULT_JOB_CLASSES}
+        assert names == {"search", "orkut", "mapreduce"}
+
+
+class TestArrivalGeneration:
+    def test_rate_matches_offered_load(self):
+        # Offered load 0.5 on 100 servers with one slot each: expected
+        # busy work per unit time is 50 slot-seconds per second.
+        trace = flat_trace(0.5)
+        arrivals = generate_arrivals(
+            trace, server_count=100, slots_per_server=1, seed=3
+        )
+        total_work = sum(a.service_time_s for a in arrivals)
+        expected = 0.5 * 100 * trace.duration_s
+        assert total_work == pytest.approx(expected, rel=0.05)
+
+    def test_arrivals_sorted_and_in_horizon(self):
+        trace = flat_trace(0.5)
+        arrivals = generate_arrivals(trace, server_count=50, seed=4)
+        times = [a.time_s for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < trace.duration_s for t in times)
+
+    def test_deterministic_given_seed(self):
+        trace = flat_trace(0.4)
+        a = generate_arrivals(trace, server_count=20, seed=9)
+        b = generate_arrivals(trace, server_count=20, seed=9)
+        assert [x.time_s for x in a] == [x.time_s for x in b]
+
+    def test_deterministic_service_option(self):
+        trace = flat_trace(0.4)
+        arrivals = generate_arrivals(
+            trace, server_count=20, seed=9, deterministic_service=True
+        )
+        by_class = {a.job_class.name for a in arrivals}
+        for arrival in arrivals:
+            assert arrival.service_time_s == arrival.job_class.service_time_s
+        assert by_class  # at least one class sampled
+
+    def test_class_mix_respects_weights(self):
+        trace = flat_trace(0.8)
+        arrivals = generate_arrivals(trace, server_count=200, seed=11)
+        counts = {name: 0 for name in ("search", "orkut", "mapreduce")}
+        for arrival in arrivals:
+            counts[arrival.job_class.name] += 1
+        total = sum(counts.values())
+        assert counts["search"] / total == pytest.approx(0.5, abs=0.05)
+        assert counts["orkut"] / total == pytest.approx(0.3, abs=0.05)
+
+    def test_time_varying_rate_tracks_trace(self):
+        times = np.array([0.0, 43200.0, 43200.0 + 1.0, 86400.0])
+        values = np.array([0.9, 0.9, 0.1, 0.1])
+        trace = LoadTrace(times, values)
+        arrivals = generate_arrivals(trace, server_count=100, seed=5)
+        first_half = sum(1 for a in arrivals if a.time_s < 43200.0)
+        second_half = len(arrivals) - first_half
+        assert first_half > 5 * second_half
+
+    def test_invalid_inputs_rejected(self):
+        trace = flat_trace(0.5)
+        with pytest.raises(WorkloadError):
+            generate_arrivals(trace, server_count=0)
+        with pytest.raises(WorkloadError):
+            generate_arrivals(trace, server_count=10, slots_per_server=0)
+        with pytest.raises(WorkloadError):
+            generate_arrivals(trace, server_count=10, job_classes=())
+
+    def test_zero_trace_rejected(self):
+        times = np.array([0.0, 100.0])
+        trace = LoadTrace(times, np.array([0.0, 0.0]))
+        with pytest.raises(WorkloadError):
+            generate_arrivals(trace, server_count=10)

@@ -1,0 +1,140 @@
+"""Tests for the parametric workload scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.synthetic import (
+    SCENARIOS,
+    bursty_trace,
+    diurnal_trace,
+    double_peak_trace,
+    flat_trace,
+    weekday_weekend_trace,
+)
+
+
+class TestDiurnal:
+    def test_normalization(self):
+        trace = diurnal_trace()
+        assert trace.average == pytest.approx(0.5)
+        assert trace.peak == pytest.approx(0.95)
+
+    def test_peak_lands_at_peak_hour(self):
+        trace = diurnal_trace(peak_hour=13.5)
+        peak_hour = (trace.times_s[np.argmax(trace.values)] / 3600.0) % 24.0
+        assert peak_hour == pytest.approx(13.5, abs=0.2)
+
+    def test_sharper_is_narrower(self):
+        narrow = diurnal_trace(sharpness=6.0)
+        wide = diurnal_trace(sharpness=1.5)
+        # Same normalization: the narrow peak spends less time above 0.8.
+        assert np.mean(narrow.values > 0.8) < np.mean(wide.values > 0.8)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            diurnal_trace(sharpness=0.0)
+        with pytest.raises(WorkloadError):
+            diurnal_trace(trough=1.0)
+
+
+class TestDoublePeak:
+    def test_two_maxima_per_day(self):
+        trace = double_peak_trace(duration_s=86400.0)
+        hours = trace.times_s / 3600.0
+        morning = trace.values[(hours > 8) & (hours < 12)].max()
+        midday_dip = trace.values[(hours > 14) & (hours < 16)].min()
+        evening = trace.values[(hours > 18) & (hours < 22)].max()
+        assert morning > midday_dip + 0.1
+        assert evening > midday_dip + 0.1
+
+    def test_order_validated(self):
+        with pytest.raises(WorkloadError):
+            double_peak_trace(morning_hour=20.0, evening_hour=10.0)
+
+
+class TestWeekly:
+    def test_weekend_damped(self):
+        trace = weekday_weekend_trace(weeks=1, weekend_fraction=0.5)
+        day = (trace.times_s // 86400.0).astype(int)
+        weekday_mean = float(np.mean(trace.values[day < 5]))
+        weekend_mean = float(np.mean(trace.values[(day >= 5) & (day < 7)]))
+        assert weekend_mean < 0.75 * weekday_mean
+
+    def test_covers_full_weeks(self):
+        trace = weekday_weekend_trace(weeks=2)
+        assert trace.duration_s == pytest.approx(14 * 86400.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            weekday_weekend_trace(weeks=0)
+        with pytest.raises(WorkloadError):
+            weekday_weekend_trace(weekend_fraction=0.0)
+
+
+class TestFlat:
+    def test_constant(self):
+        trace = flat_trace(level=0.6)
+        assert np.all(trace.values == 0.6)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            flat_trace(level=1.5)
+
+
+class TestBursty:
+    def test_bursts_visible(self):
+        base = diurnal_trace(sharpness=2.5)
+        bursty = bursty_trace(burst_magnitude=0.6)
+        # The bursty trace has heavier high-load occupancy at its spikes.
+        hours = (bursty.times_s / 3600.0) % 24.0
+        near_burst = np.abs(hours - 21.0) < 0.5
+        assert float(np.mean(bursty.values[near_burst])) > float(
+            np.mean(base.values[near_burst])
+        )
+
+    def test_normalization_holds(self):
+        trace = bursty_trace()
+        assert trace.average == pytest.approx(0.5)
+        assert trace.peak == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_trace(burst_magnitude=-0.1)
+        with pytest.raises(WorkloadError):
+            bursty_trace(burst_width_hours=0.0)
+
+
+class TestRegistry:
+    def test_all_scenarios_generate(self):
+        for name, generator in SCENARIOS.items():
+            trace = generator()
+            assert trace.duration_s > 0, name
+            assert trace.peak == pytest.approx(0.95), name
+
+
+class TestPCMInteraction:
+    def test_flat_trace_gives_no_reduction(
+        self, one_u_spec, one_u_characterization
+    ):
+        """The control case: with nothing to shift, wax is useless."""
+        from repro.dcsim.cluster import ClusterTopology
+        from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+        from repro.materials.library import commercial_paraffin_with_melting_point
+
+        trace = flat_trace(level=0.7)
+        results = {}
+        for wax in (False, True):
+            results[wax] = DatacenterSimulator(
+                one_u_characterization,
+                one_u_spec.power_model,
+                commercial_paraffin_with_melting_point(43.0),
+                trace,
+                topology=ClusterTopology(server_count=16),
+                config=SimulationConfig(wax_enabled=wax),
+            ).run()
+        reduction = 1.0 - (
+            results[True].peak_cooling_load_w
+            / results[False].peak_cooling_load_w
+        )
+        assert abs(reduction) < 0.02

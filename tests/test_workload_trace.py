@@ -1,0 +1,134 @@
+"""Tests for load traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.trace import LoadTrace
+
+
+def make_trace(values, interval=100.0):
+    times = np.arange(len(values)) * interval
+    return LoadTrace(times, np.asarray(values, dtype=float))
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTrace(np.array([0.0, 1.0]), np.array([0.5]))
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTrace(np.array([0.0]), np.array([0.5]))
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTrace(np.array([0.0, 2.0, 1.0]), np.array([0.1, 0.2, 0.3]))
+
+    def test_nonzero_origin_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTrace(np.array([1.0, 2.0]), np.array([0.1, 0.2]))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_trace([0.5, -0.1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_trace([0.5, np.nan])
+
+
+class TestQueries:
+    def test_peak_and_average(self):
+        trace = make_trace([0.0, 1.0, 0.0])
+        assert trace.peak == 1.0
+        assert trace.average == pytest.approx(0.5)
+
+    def test_value_at_interpolates(self):
+        trace = make_trace([0.0, 1.0])
+        assert trace.value_at(50.0) == pytest.approx(0.5)
+
+    def test_value_at_clamps_ends(self):
+        trace = make_trace([0.2, 0.8])
+        assert trace.value_at(-10.0) == pytest.approx(0.2)
+        assert trace.value_at(1e6) == pytest.approx(0.8)
+
+    def test_schedule_clips_to_unit(self):
+        trace = make_trace([0.0, 2.0])
+        schedule = trace.as_schedule()
+        assert schedule(100.0) == 1.0
+
+
+class TestTransforms:
+    def test_normalized_hits_targets(self):
+        trace = make_trace([0.1, 0.9, 0.3, 0.7, 0.2])
+        normalized = trace.normalized(average=0.5, peak=0.95)
+        assert normalized.peak == pytest.approx(0.95)
+        assert normalized.average == pytest.approx(0.5)
+
+    def test_normalized_constant_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_trace([0.5, 0.5, 0.5]).normalized()
+
+    def test_normalized_rejects_negative_result(self):
+        # A trough far below the average, relative to the peak-average
+        # span, maps below zero under the affine normalization.
+        trace = make_trace([0.0, 9.0, 10.0, 9.0])
+        with pytest.raises(WorkloadError):
+            trace.normalized(average=0.5, peak=0.95)
+
+    def test_scaled(self):
+        trace = make_trace([0.2, 0.4]).scaled(2.0)
+        assert trace.peak == pytest.approx(0.8)
+
+    def test_resampled_grid(self):
+        trace = make_trace([0.0, 1.0, 0.0], interval=100.0)
+        fine = trace.resampled(25.0)
+        assert fine.times_s[1] == 25.0
+        assert fine.duration_s == pytest.approx(200.0)
+
+    def test_tiled_repeats_shape(self):
+        trace = make_trace([0.1, 0.9, 0.1])
+        tiled = trace.tiled(3)
+        assert tiled.duration_s == pytest.approx(3 * trace.duration_s)
+        assert tiled.value_at(trace.duration_s + 100.0) == pytest.approx(
+            trace.value_at(100.0)
+        )
+
+    def test_tiled_identity(self):
+        trace = make_trace([0.1, 0.9])
+        assert trace.tiled(1) is trace
+
+    def test_shifted_rotates(self):
+        trace = make_trace([0.0, 1.0, 2.0, 3.0])
+        shifted = trace.shifted(100.0)
+        assert shifted.value_at(0.0) == pytest.approx(1.0)
+
+    def test_addition_on_union_grid(self):
+        a = make_trace([0.1, 0.3])
+        b = LoadTrace(np.array([0.0, 50.0, 100.0]), np.array([0.2, 0.2, 0.2]))
+        total = a + b
+        assert total.value_at(0.0) == pytest.approx(0.3)
+        assert total.value_at(100.0) == pytest.approx(0.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=3, max_size=50
+        )
+    )
+    @settings(max_examples=100)
+    def test_normalization_preserves_shape(self, values):
+        values = np.asarray(values)
+        if np.ptp(values) < 1e-6 or np.max(values) - np.mean(values) < 1e-3:
+            return  # constant-ish traces are rejected by design
+        trace = make_trace(values)
+        try:
+            normalized = trace.normalized(average=0.5, peak=0.95)
+        except WorkloadError:
+            return  # legal rejection when the shape would go negative
+        # Affine maps preserve the location of the maximum.
+        assert np.argmax(normalized.values) == np.argmax(trace.values)
+        assert normalized.peak == pytest.approx(0.95)
+        assert normalized.average == pytest.approx(0.5)

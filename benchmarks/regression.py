@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the tier-2 benchmark suite and gate against a checked-in baseline.
+
+Thin launcher around :mod:`repro.bench.regression` so CI and humans can
+run the gate from a bare checkout, without installing the package:
+
+    python benchmarks/regression.py --baseline benchmarks/baseline.json
+
+Installed, the same runner is the ``repro-bench`` console script.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.regression import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,6 @@ much as the material.
 Run:  python examples/pcm_material_selection.py
 """
 
-import numpy as np
-
 from repro import one_u_commodity, synthesize_google_trace
 from repro.analysis.tables import format_table
 from repro.core.melting_point import optimize_melting_point

@@ -1,0 +1,498 @@
+"""The tier-2 performance-regression runner behind ``repro-bench``.
+
+The suite mirrors ``benchmarks/test_bench_micro.py``: each scenario
+exercises one kernel that dominates the library's wall-clock — the
+chassis RK4 transient, the steady-state fixed point, the vectorized
+cluster tick, a fluid-mode simulated day, and an event-mode simulated
+day. Scenarios run with observability collection on, so every result
+carries the run's deterministic work counters (RK4 steps, events
+processed) alongside its wall-clock:
+
+* **times** catch "the same work got slower" regressions and are gated
+  with a relative tolerance (CI hardware is noisy, so the default is
+  generous);
+* **counters** catch "the code silently started doing more work"
+  regressions machine-independently; they are reported always and gated
+  only under ``--strict-counters`` (a legitimate algorithm change should
+  refresh the baseline instead).
+
+Artifacts are versioned JSON (``BENCH_<sha>.json``); the baseline the
+gate compares against is the same schema, checked in at
+``benchmarks/baseline.json`` and refreshed with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.obs import get_registry
+
+#: Version tag of the benchmark artifact schema.
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Default relative slowdown tolerated before the gate fails (55%:
+#: shared CI runners jitter; the counters catch subtler drift).
+DEFAULT_TOLERANCE = 0.55
+
+#: Default baseline location relative to the repository root.
+DEFAULT_BASELINE = "benchmarks/baseline.json"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark scenario: a named, repeatable callable."""
+
+    name: str
+    description: str
+    build: Callable[[bool], Callable[[], object]]
+    repeats: int = 3
+
+
+def _chassis_transient(quick: bool) -> Callable[[], object]:
+    from repro.server.chassis import constant_utilization
+    from repro.server.configs import one_u_commodity
+    from repro.thermal.solver import simulate_transient
+    from repro.units import hours
+
+    network = one_u_commodity().chassis.build_network(
+        constant_utilization(0.8), with_wax=True
+    )
+    horizon = hours(0.25) if quick else hours(1.0)
+    return lambda: simulate_transient(network, horizon, output_interval_s=300.0)
+
+
+def _chassis_steady_state(quick: bool) -> Callable[[], object]:
+    from repro.server.chassis import constant_utilization
+    from repro.server.configs import one_u_commodity
+    from repro.thermal.steady_state import solve_steady_state
+
+    network = one_u_commodity().chassis.build_network(
+        constant_utilization(1.0), placebo=True
+    )
+    return lambda: solve_steady_state(network)
+
+
+def _cluster_ticks(quick: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.dcsim.thermal_coupling import ClusterThermalState
+    from repro.materials.library import commercial_paraffin_with_melting_point
+    from repro.server.characterization import characterize_platform
+    from repro.server.configs import one_u_commodity
+
+    spec = one_u_commodity()
+    state = ClusterThermalState(
+        characterize_platform(spec),
+        spec.power_model,
+        commercial_paraffin_with_melting_point(43.0),
+        server_count=1008,
+    )
+    utilization = np.full(1008, 0.7)
+    n_ticks = 20 if quick else 100
+
+    def run() -> object:
+        result = None
+        for _ in range(n_ticks):
+            result = state.step(60.0, utilization, 2.4)
+        return result
+
+    return run
+
+
+def _fluid_day(quick: bool) -> Callable[[], object]:
+    from repro.dcsim.cluster import ClusterTopology
+    from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+    from repro.materials.library import commercial_paraffin_with_melting_point
+    from repro.server.characterization import characterize_platform
+    from repro.server.configs import one_u_commodity
+    from repro.workload.google import synthesize_google_trace
+
+    spec = one_u_commodity()
+    characterization = characterize_platform(spec)
+    trace = synthesize_google_trace().total
+    servers = 96 if quick else 1008
+    return lambda: DatacenterSimulator(
+        characterization,
+        spec.power_model,
+        commercial_paraffin_with_melting_point(43.0),
+        trace,
+        topology=ClusterTopology(server_count=servers),
+        config=SimulationConfig(mode="fluid", wax_enabled=True),
+    ).run()
+
+
+def _event_day(quick: bool) -> Callable[[], object]:
+    from repro.dcsim.cluster import ClusterTopology
+    from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+    from repro.materials.library import commercial_paraffin_with_melting_point
+    from repro.server.characterization import characterize_platform
+    from repro.server.configs import one_u_commodity
+    from repro.units import hours
+    from repro.workload.synthetic import diurnal_trace
+
+    spec = one_u_commodity()
+    characterization = characterize_platform(spec)
+    day = diurnal_trace(duration_s=hours(6.0) if quick else hours(24.0))
+    servers = 32 if quick else 96
+    return lambda: DatacenterSimulator(
+        characterization,
+        spec.power_model,
+        commercial_paraffin_with_melting_point(43.0),
+        day,
+        topology=ClusterTopology(server_count=servers),
+        config=SimulationConfig(mode="event", wax_enabled=True),
+    ).run()
+
+
+#: The tier-2 suite, in execution order.
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        "chassis_transient_hour",
+        "one simulated hour of the detailed chassis network (RK4)",
+        _chassis_transient,
+    ),
+    Scenario(
+        "chassis_steady_state",
+        "one steady-state solve of the detailed chassis network",
+        _chassis_steady_state,
+    ),
+    Scenario(
+        "cluster_ticks_1008",
+        "100 vectorized thermal ticks of a 1008-server cluster",
+        _cluster_ticks,
+    ),
+    Scenario(
+        "fluid_day_1008",
+        "two simulated days of a 1008-server cluster in fluid mode",
+        _fluid_day,
+    ),
+    Scenario(
+        "event_day_96",
+        "a simulated day of discrete-event traffic on 96 servers",
+        _event_day,
+        repeats=2,
+    ),
+)
+
+
+def scenario_names() -> list[str]:
+    """Names of every scenario in suite order."""
+    return [scenario.name for scenario in SCENARIOS]
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one scenario."""
+
+    name: str
+    repeats: int
+    times_s: list[float]
+    counters: dict[str, int]
+
+    @property
+    def min_s(self) -> float:
+        return min(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.times_s)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "repeats": self.repeats,
+            "times_s": self.times_s,
+            "min_s": self.min_s,
+            "median_s": self.median_s,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "nogit"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "nogit"
+
+
+def run_scenarios(
+    names: Sequence[str] | None = None,
+    repeats: int | None = None,
+    quick: bool = False,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Run the suite and return the artifact dict (``BENCH_SCHEMA``).
+
+    Collection is forced on for the duration so every scenario reports
+    its deterministic work counters; the registry's prior enabled state
+    and contents are restored afterwards.
+    """
+    selected = SCENARIOS
+    if names is not None:
+        known = {scenario.name: scenario for scenario in SCENARIOS}
+        missing = [name for name in names if name not in known]
+        if missing:
+            raise KeyError(
+                f"unknown scenarios {missing}; choose from {scenario_names()}"
+            )
+        selected = tuple(known[name] for name in names)
+
+    say = echo or (lambda _line: None)
+    registry = get_registry()
+    was_enabled = registry.enabled
+    results: dict[str, ScenarioResult] = {}
+    try:
+        registry.enable()
+        for scenario in selected:
+            runner = scenario.build(quick)
+            n_repeats = repeats or scenario.repeats
+            times: list[float] = []
+            for _ in range(n_repeats):
+                registry.reset()
+                start = time.perf_counter()
+                runner()
+                times.append(time.perf_counter() - start)
+            snapshot = registry.snapshot()
+            results[scenario.name] = ScenarioResult(
+                name=scenario.name,
+                repeats=n_repeats,
+                times_s=times,
+                counters=dict(snapshot.counters),
+            )
+            say(
+                f"  {scenario.name}: min {min(times) * 1e3:.1f} ms over "
+                f"{n_repeats} runs"
+            )
+    finally:
+        registry.reset()
+        if not was_enabled:
+            registry.disable()
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "results": {name: result.to_dict() for name, result in results.items()},
+    }
+
+
+@dataclass
+class Comparison:
+    """Outcome of gating a current report against a baseline."""
+
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    counter_drift: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for label, entries in (
+            ("REGRESSION", self.regressions),
+            ("improved", self.improvements),
+            ("counter drift", self.counter_drift),
+            ("note", self.notes),
+        ):
+            lines.extend(f"[{label}] {entry}" for entry in entries)
+        if not lines:
+            lines.append("all benchmarks within tolerance of baseline")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+    strict_counters: bool = False,
+) -> Comparison:
+    """Gate a current artifact against a baseline artifact.
+
+    A scenario regresses when its best-of-repeats time exceeds the
+    baseline's by more than ``tolerance`` (relative), or when it is
+    missing from the current report. Counter differences are reported as
+    drift, and fail the gate only under ``strict_counters``.
+    """
+    comparison = Comparison()
+    for report, role in ((current, "current"), (baseline, "baseline")):
+        if report.get("schema") != BENCH_SCHEMA:
+            comparison.regressions.append(
+                f"{role} report has schema {report.get('schema')!r}; "
+                f"expected {BENCH_SCHEMA!r}"
+            )
+    if comparison.regressions:
+        return comparison
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        comparison.regressions.append(
+            "quick-mode mismatch between current and baseline reports"
+        )
+        return comparison
+
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    for name, base in baseline_results.items():
+        cur = current_results.get(name)
+        if cur is None:
+            comparison.regressions.append(
+                f"{name}: present in baseline but not measured"
+            )
+            continue
+        base_s = float(base["min_s"])
+        cur_s = float(cur["min_s"])
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        detail = (
+            f"{name}: {cur_s * 1e3:.1f} ms vs baseline "
+            f"{base_s * 1e3:.1f} ms ({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + tolerance:
+            comparison.regressions.append(detail)
+        elif ratio < 1.0 / (1.0 + tolerance):
+            comparison.improvements.append(detail)
+
+        base_counters = base.get("counters", {})
+        cur_counters = cur.get("counters", {})
+        for counter in sorted(set(base_counters) | set(cur_counters)):
+            before = base_counters.get(counter)
+            after = cur_counters.get(counter)
+            if before != after:
+                comparison.counter_drift.append(
+                    f"{name}: {counter} {before} -> {after}"
+                )
+    for name in sorted(set(current_results) - set(baseline_results)):
+        comparison.notes.append(f"{name}: new scenario, not in baseline")
+
+    if strict_counters and comparison.counter_drift:
+        comparison.regressions.extend(comparison.counter_drift)
+    return comparison
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: run the suite, write the artifact, optionally gate."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the tier-2 benchmark suite and gate on a baseline.",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline artifact to gate against (e.g. {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative slowdown tolerated before failing (default %(default)s)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for the BENCH_<sha>.json artifact (default: cwd)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="PATH",
+        help="also write the measured report as a new baseline",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario subset (default: all)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override per-scenario repeat count",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller horizons for a fast smoke run (baseline must match)",
+    )
+    parser.add_argument(
+        "--strict-counters",
+        action="store_true",
+        help="fail on any work-counter drift, not just slowdowns",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"{scenario.name}: {scenario.description}")
+        return 0
+    if args.tolerance < 0:
+        print("tolerance must be non-negative", file=sys.stderr)
+        return 2
+    names = args.scenarios.split(",") if args.scenarios else None
+    if names is not None:
+        unknown = sorted(set(names) - set(scenario_names()))
+        if unknown:
+            print(
+                f"unknown scenarios {unknown}; choose from {scenario_names()}",
+                file=sys.stderr,
+            )
+            return 2
+
+    print(f"running {len(names or SCENARIOS)} benchmark scenarios "
+          f"({'quick' if args.quick else 'full'} mode)...")
+    report = run_scenarios(
+        names=names, repeats=args.repeats, quick=args.quick, echo=print
+    )
+
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    artifact = output_dir / f"BENCH_{report['git_sha']}.json"
+    artifact.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {artifact}")
+
+    if args.update_baseline:
+        baseline_path = Path(args.update_baseline)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote baseline {baseline_path}")
+
+    if args.baseline is None:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} does not exist", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    comparison = compare_reports(
+        report,
+        baseline,
+        tolerance=args.tolerance,
+        strict_counters=args.strict_counters,
+    )
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

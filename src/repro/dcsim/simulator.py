@@ -21,6 +21,7 @@ matching the normalization of the paper's Figure 12.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro.dcsim.thermal_coupling import ClusterThermalState
 from repro.dcsim.throttling import NoThermalLimit
 from repro.errors import ConfigurationError, SimulationError
 from repro.materials.pcm import PCMMaterial
+from repro.obs import get_registry
 from repro.server.characterization import PlatformCharacterization
 from repro.server.power import ServerPowerModel
 from repro.workload.jobs import Arrival, generate_arrivals
@@ -169,9 +171,23 @@ class DatacenterSimulator:
         reset = getattr(self.policy, "reset", None)
         if callable(reset):
             reset()
-        if self.config.mode == "fluid":
-            return self._run_fluid()
-        return self._run_event()
+        obs = get_registry()
+        start = time.perf_counter()
+        with obs.timer("dcsim.run"):
+            if self.config.mode == "fluid":
+                result = self._run_fluid()
+            else:
+                result = self._run_event()
+        if obs.enabled:
+            elapsed = time.perf_counter() - start
+            n_ticks = len(result.times_s)
+            obs.count("dcsim.runs")
+            obs.count(f"dcsim.mode.{self.config.mode}")
+            obs.count("dcsim.ticks", n_ticks)
+            obs.count("dcsim.server_ticks", n_ticks * result.server_count)
+            if elapsed > 0:
+                obs.record("dcsim.ticks_per_sec", n_ticks / elapsed)
+        return result
 
     def _pre_tick(self, state: ClusterThermalState) -> None:
         """Propagate the room temperature to the server inlets."""
@@ -192,14 +208,16 @@ class DatacenterSimulator:
         n_servers = self.topology.server_count
         dt = self.config.tick_interval_s
         ticks = self._tick_times()
-        nominal = self.power_model.nominal_frequency_ghz
 
+        throttle_ticks = 0
         records = _Recorder(len(ticks), n_servers)
         for i, t in enumerate(ticks):
             demand = float(np.clip(self.trace.value_at(t - 0.5 * dt), 0.0, 1.0))
             self._pre_tick(state)
             # Policies see the offered work rate in nominal capacity units.
             decision = self.policy.decide(state, np.full(n_servers, demand))
+            if decision.limited:
+                throttle_ticks += 1
             tf = self.power_model.throughput_factor(decision.frequency_ghz)
             utilization = np.minimum(demand / tf, 1.0)
             utilization = np.minimum(utilization, decision.utilization_cap)
@@ -224,6 +242,7 @@ class DatacenterSimulator:
                 shed=shed * n_servers,
                 room=room_temp,
             )
+        get_registry().count("dcsim.throttle_ticks", throttle_ticks)
         return records.result(n_servers)
 
     # -- event mode -----------------------------------------------------------
@@ -261,6 +280,9 @@ class DatacenterSimulator:
 
         time_now = 0.0
         arrival_index = 0
+        events_processed = 0
+        queue_high_water = 0
+        throttle_ticks = 0
         records = _Recorder(len(ticks), n_servers)
 
         def advance_to(t: float) -> None:
@@ -304,6 +326,7 @@ class DatacenterSimulator:
                 if next_event >= tick_time:
                     break
                 advance_to(next_event)
+                events_processed += 1
                 if next_completion <= next_arrival:
                     _work_at, server, service_work = heapq.heappop(completions)
                     busy[server] -= 1
@@ -318,6 +341,9 @@ class DatacenterSimulator:
                     arrival_index += 1
                     if not dispatch(arrival.service_time_s):
                         queue.append(arrival.service_time_s)
+                        depth = len(queue) - queue_head
+                        if depth > queue_high_water:
+                            queue_high_water = depth
 
             advance_to(tick_time)
 
@@ -327,6 +353,8 @@ class DatacenterSimulator:
             # Offered work rate this tick: busy fraction times the current
             # per-slot service rate.
             decision = self.policy.decide(state, utilization * tf)
+            if decision.limited:
+                throttle_ticks += 1
             frequency = decision.frequency_ghz
             tf = self.power_model.throughput_factor(frequency)
             if decision.utilization_cap < 1.0:
@@ -358,6 +386,11 @@ class DatacenterSimulator:
                 shed=0.0,
                 room=room_temp,
             )
+        obs = get_registry()
+        if obs.enabled:
+            obs.count("dcsim.events", events_processed)
+            obs.count("dcsim.throttle_ticks", throttle_ticks)
+            obs.record_max("dcsim.queue_high_water", queue_high_water)
         return records.result(n_servers)
 
 

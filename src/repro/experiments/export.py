@@ -44,18 +44,18 @@ def export_result(result: ExperimentResult, output_dir: str | Path) -> list[Path
         written.append(csv_path)
 
     summary_path = directory / f"{result.experiment_id}_summary.json"
+    payload: dict[str, object] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "summary": {k: float(v) for k, v in result.summary.items()},
+        "paper": {k: float(v) for k, v in result.paper.items()},
+    }
+    # Only present when observability collection was on for the run, so
+    # default exports are unchanged byte for byte.
+    if result.perf:
+        payload["perf"] = result.perf
     with open(summary_path, "w") as handle:
-        json.dump(
-            {
-                "experiment_id": result.experiment_id,
-                "title": result.title,
-                "summary": {k: float(v) for k, v in result.summary.items()},
-                "paper": {k: float(v) for k, v in result.paper.items()},
-            },
-            handle,
-            indent=2,
-            sort_keys=True,
-        )
+        json.dump(payload, handle, indent=2, sort_keys=True)
     written.append(summary_path)
 
     if result.tables:

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
+from repro.obs import get_registry
 
 
 @dataclass
@@ -21,6 +22,12 @@ class ExperimentResult:
     name to an array (figure data); ``summary`` maps a short metric name
     to its measured value, with ``paper`` recording the value the paper
     reports for the same metric where one exists.
+
+    ``perf`` holds the observability layer's measurements of the run —
+    wall-time breakdown, solver step counts, simulator event counts (see
+    :mod:`repro.obs`). It is empty unless collection is enabled
+    (``REPRO_OBS=1`` or :func:`repro.obs.enable`), so default outputs are
+    unchanged.
     """
 
     experiment_id: str
@@ -31,6 +38,7 @@ class ExperimentResult:
     series: dict[str, np.ndarray] = field(default_factory=dict)
     summary: dict[str, float] = field(default_factory=dict)
     paper: dict[str, float] = field(default_factory=dict)
+    perf: dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable report of the experiment."""
@@ -87,7 +95,14 @@ def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
             f"{all_experiment_ids()}"
         ) from None
     module = importlib.import_module(module_name)
-    return module.run(quick=quick)
+    registry = get_registry()
+    if not registry.enabled:
+        return module.run(quick=quick)
+    with registry.collect() as collection:
+        with registry.timer(f"experiment.{experiment_id}"):
+            result = module.run(quick=quick)
+    result.perf = collection.report.perf_section()
+    return result
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -116,6 +131,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     for experiment_id in ids:
         result = run_experiment(experiment_id, quick=args.quick)
         print(result.render())
+        if result.perf:
+            wall = result.perf.get("wall_time_s", 0.0)
+            counters = result.perf.get("counters", {})
+            interesting = {
+                name: value
+                for name, value in counters.items()
+                if name.startswith(("solver.", "dcsim."))
+            }
+            print(f"\n[perf] wall {wall:.3f}s  " + "  ".join(
+                f"{name}={value}" for name, value in sorted(interesting.items())
+            ))
         print()
         if args.output_dir:
             from repro.experiments.export import export_result
@@ -123,3 +149,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             for path in export_result(result, args.output_dir):
                 print(f"wrote {path}")
     return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

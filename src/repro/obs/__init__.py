@@ -1,0 +1,47 @@
+"""Lightweight observability: hierarchical timers, counters, run reports.
+
+Instrumented modules (the transient solver, the datacenter simulator, the
+experiment registry, the validation harness) report into a process-global
+:class:`~repro.obs.registry.ObsRegistry`. Collection is **off by
+default** and near-free while off; turn it on with ``REPRO_OBS=1`` or
+:func:`~repro.obs.registry.enable`. Snapshots export as versioned JSON
+or CSV through :class:`~repro.obs.report.RunReport`.
+
+See ``docs/OBSERVABILITY.md`` for the full API and schema.
+"""
+
+from repro.obs.registry import (
+    ENV_TOGGLE,
+    ObsRegistry,
+    count,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    record,
+    record_max,
+    reset,
+    snapshot,
+    timed,
+    timer,
+)
+from repro.obs.report import SCHEMA, RunReport, TimerStat
+
+__all__ = [
+    "ENV_TOGGLE",
+    "SCHEMA",
+    "ObsRegistry",
+    "RunReport",
+    "TimerStat",
+    "count",
+    "disable",
+    "enable",
+    "get_registry",
+    "is_enabled",
+    "record",
+    "record_max",
+    "reset",
+    "snapshot",
+    "timed",
+    "timer",
+]

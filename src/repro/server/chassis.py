@@ -269,7 +269,9 @@ class ServerChassis:
 
         nominal = self.power_model.nominal_frequency_ghz
         if frequency_schedule is None:
-            frequency_schedule = lambda _t: nominal
+
+            def frequency_schedule(_t: float) -> float:
+                return nominal
 
         def dvfs_factor(time_s: float) -> float:
             return self.power_model.frequency_factor(frequency_schedule(time_s))

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, SolverError
+from repro.obs import ObsRegistry, get_registry
 from repro.thermal.network import ThermalNetwork
 from repro.units import AIR_VOLUMETRIC_HEAT_CAPACITY
 
@@ -248,6 +249,7 @@ def stable_step_s(network: ThermalNetwork, safety: float = DEFAULT_STEP_SAFETY) 
     """
     if not 0 < safety <= 1.0:
         raise ConfigurationError(f"step safety must be in (0, 1], got {safety}")
+    get_registry().count("solver.stability_rebuilds")
     if network.air_path is not None:
         flow = network.air_path.flow_at_time(0.0)
         # Conductance grows with flow; bound using the largest flow the fan
@@ -310,19 +312,41 @@ def simulate_transient(
             f"method must be 'rk4' or 'bdf', got {method!r}"
         )
     network.validate()
-    compiled = _CompiledNetwork(network)
+    obs = get_registry()
+    with obs.timer("solver.transient"):
+        compiled = _CompiledNetwork(network)
+        obs.count("solver.compiled_builds")
+        obs.count("solver.path.compiled")
 
-    if method == "bdf":
-        return _simulate_bdf(
-            network, compiled, duration_s, output_interval_s, commit_final_state
+        if method == "bdf":
+            return _simulate_bdf(
+                network, compiled, duration_s, output_interval_s, commit_final_state
+            )
+
+        step = stable_step_s(network, step_safety)
+        if max_step_s is not None:
+            if max_step_s <= 0:
+                raise ConfigurationError(
+                    f"max step must be positive, got {max_step_s}"
+                )
+            step = min(step, max_step_s)
+        step = min(step, output_interval_s)
+        return _integrate_rk4(
+            network, compiled, duration_s, output_interval_s, step,
+            commit_final_state, obs,
         )
 
-    step = stable_step_s(network, step_safety)
-    if max_step_s is not None:
-        if max_step_s <= 0:
-            raise ConfigurationError(f"max step must be positive, got {max_step_s}")
-        step = min(step, max_step_s)
-    step = min(step, output_interval_s)
+
+def _integrate_rk4(
+    network: ThermalNetwork,
+    compiled: _CompiledNetwork,
+    duration_s: float,
+    output_interval_s: float,
+    step: float,
+    commit_final_state: bool,
+    obs: ObsRegistry,
+) -> TransientResult:
+    """Fixed-step RK4 integration of the compiled network."""
 
     n_outputs = int(np.floor(duration_s / output_interval_s)) + 1
     times = np.arange(n_outputs) * output_interval_s
@@ -365,6 +389,7 @@ def simulate_transient(
 
     record(0, 0.0)
     time_now = 0.0
+    steps_taken = 0
     for sample_index in range(1, n_outputs):
         target = times[sample_index]
         while time_now < target - 1e-9:
@@ -375,12 +400,20 @@ def simulate_transient(
             k4 = compiled.rhs(state + dt * k3, time_now + dt)
             state = state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
             time_now += dt
+            steps_taken += 1
             if not np.all(np.isfinite(state)):
                 raise SolverError(
                     f"non-finite state at t={time_now:.1f}s in network "
                     f"{network.name!r}; step {step:.3g}s may be unstable"
                 )
         record(sample_index, target)
+
+    if obs.enabled:
+        obs.count("solver.runs")
+        obs.count("solver.method.rk4")
+        obs.count("solver.rk4_steps", steps_taken)
+        obs.count("solver.rhs_evals", 4 * steps_taken)
+        obs.record("solver.step_s", step)
 
     if commit_final_state:
         for i, name in enumerate(compiled.pcm_names):
@@ -429,6 +462,12 @@ def _simulate_bdf(
     )
     if not solution.success:
         raise SolverError(f"BDF integration failed: {solution.message}")
+
+    obs = get_registry()
+    if obs.enabled:
+        obs.count("solver.runs")
+        obs.count("solver.method.bdf")
+        obs.count("solver.rhs_evals", int(solution.nfev))
 
     n_cap = compiled.n_cap
     temp_traces = {

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs import get_registry, timed
 from repro.thermal.network import ThermalNetwork
 
 
@@ -42,6 +43,7 @@ class SteadyStateResult:
         return list(self.air_temperatures_c.values())[-1]
 
 
+@timed("solver.steady_state")
 def solve_steady_state(
     network: ThermalNetwork,
     time_s: float = 0.0,
@@ -132,6 +134,12 @@ def solve_steady_state(
 
     if not all(np.isfinite(list(temps.values()))):
         raise SolverError("steady state produced non-finite temperatures")
+
+    obs = get_registry()
+    if obs.enabled:
+        obs.count("solver.steady_solves")
+        obs.count("solver.steady_sweeps", iterations)
+        obs.count("solver.path.dict")
 
     return SteadyStateResult(
         temperatures_c=dict(temps),

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.metrics import TraceComparison, compare_traces
+from repro.obs import get_registry, timed
 from repro.server.chassis import step_utilization
 from repro.server.configs import one_u_commodity
 from repro.thermal.solver import TransientResult, simulate_transient
@@ -98,6 +99,7 @@ def _effect_hours(
     return depress, elevate
 
 
+@timed("validation.run")
 def run_validation(
     inlet_temperature_c: float = 25.0,
     output_interval_s: float = 120.0,
@@ -112,8 +114,10 @@ def run_validation(
     )
     coarse_chassis = coarse_spec.chassis.with_wax_loadout(validation_loadout())
 
+    obs = get_registry()
     arms: dict[str, ValidationArm] = {}
     for wax in (True, False):
+        obs.count("validation.arms", 2)
         network = reference.build_network(
             utilization,
             with_wax=wax,

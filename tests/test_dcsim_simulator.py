@@ -13,7 +13,6 @@ from repro.dcsim.simulator import (
 from repro.dcsim.throttling import RoomTemperaturePolicy, ThermalLimitPolicy
 from repro.errors import ConfigurationError
 from repro.materials.library import commercial_paraffin_with_melting_point
-from repro.workload.trace import LoadTrace
 
 
 @pytest.fixture

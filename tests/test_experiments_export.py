@@ -6,7 +6,6 @@ import json
 import numpy as np
 import pytest
 
-from repro.errors import ExperimentError
 from repro.experiments.export import export_result
 from repro.experiments.registry import ExperimentResult
 

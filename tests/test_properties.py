@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.dcsim.thermal_coupling import ClusterThermalState
 from repro.materials.library import commercial_paraffin_with_melting_point
-from repro.materials.pcm import PCMMaterial
 from repro.server.power import ServerPowerModel
 from repro.thermal.airflow import (
     FanBank,

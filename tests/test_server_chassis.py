@@ -1,7 +1,5 @@
 """Tests for chassis assembly and build variants."""
 
-import dataclasses
-
 import pytest
 
 from repro.errors import ConfigurationError

@@ -6,8 +6,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.materials.library import commercial_paraffin_with_melting_point
 from repro.materials.pcm import PCMSample
-from repro.thermal.airflow import AirPath, AirSegment, FanBank, FanCurve, SystemImpedance
-from repro.thermal.convection import ConvectiveCoupling
 from repro.thermal.network import ThermalNetwork
 from repro.thermal.solver import simulate_transient, stable_step_s
 from repro.units import hours

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.obs import get_registry
+from repro.runner.pool import sweep
 
 #: Version tag of the benchmark artifact schema.
 BENCH_SCHEMA = "repro.bench/1"
@@ -49,15 +50,20 @@ DEFAULT_BASELINE = "benchmarks/baseline.json"
 
 @dataclass(frozen=True)
 class Scenario:
-    """One benchmark scenario: a named, repeatable callable."""
+    """One benchmark scenario: a named, repeatable callable.
+
+    ``build(quick, jobs)`` returns the runnable; scenarios that measure
+    a parallel-capable sweep honor ``jobs``, the single-kernel ones
+    ignore it (their point is the serial hot path).
+    """
 
     name: str
     description: str
-    build: Callable[[bool], Callable[[], object]]
+    build: Callable[[bool, int], Callable[[], object]]
     repeats: int = 3
 
 
-def _chassis_transient(quick: bool) -> Callable[[], object]:
+def _chassis_transient(quick: bool, jobs: int) -> Callable[[], object]:
     from repro.server.chassis import constant_utilization
     from repro.server.configs import one_u_commodity
     from repro.thermal.solver import simulate_transient
@@ -70,7 +76,7 @@ def _chassis_transient(quick: bool) -> Callable[[], object]:
     return lambda: simulate_transient(network, horizon, output_interval_s=300.0)
 
 
-def _chassis_steady_state(quick: bool) -> Callable[[], object]:
+def _chassis_steady_state(quick: bool, jobs: int) -> Callable[[], object]:
     from repro.server.chassis import constant_utilization
     from repro.server.configs import one_u_commodity
     from repro.thermal.steady_state import solve_steady_state
@@ -81,7 +87,7 @@ def _chassis_steady_state(quick: bool) -> Callable[[], object]:
     return lambda: solve_steady_state(network)
 
 
-def _cluster_ticks(quick: bool) -> Callable[[], object]:
+def _cluster_ticks(quick: bool, jobs: int) -> Callable[[], object]:
     import numpy as np
 
     from repro.dcsim.thermal_coupling import ClusterThermalState
@@ -108,7 +114,7 @@ def _cluster_ticks(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _fluid_day(quick: bool) -> Callable[[], object]:
+def _fluid_day(quick: bool, jobs: int) -> Callable[[], object]:
     from repro.dcsim.cluster import ClusterTopology
     from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
     from repro.materials.library import commercial_paraffin_with_melting_point
@@ -130,7 +136,7 @@ def _fluid_day(quick: bool) -> Callable[[], object]:
     ).run()
 
 
-def _event_day(quick: bool) -> Callable[[], object]:
+def _event_day(quick: bool, jobs: int) -> Callable[[], object]:
     from repro.dcsim.cluster import ClusterTopology
     from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
     from repro.materials.library import commercial_paraffin_with_melting_point
@@ -151,6 +157,12 @@ def _event_day(quick: bool) -> Callable[[], object]:
         topology=ClusterTopology(server_count=servers),
         config=SimulationConfig(mode="event", wax_enabled=True),
     ).run()
+
+
+def _fig7_sweep(quick: bool, jobs: int) -> Callable[[], object]:
+    from repro.experiments.fig7_blockage import run
+
+    return lambda: run(quick=quick, jobs=jobs)
 
 
 #: The tier-2 suite, in execution order.
@@ -179,6 +191,13 @@ SCENARIOS: tuple[Scenario, ...] = (
         "event_day_96",
         "a simulated day of discrete-event traffic on 96 servers",
         _event_day,
+        repeats=2,
+    ),
+    Scenario(
+        "fig7_sweep",
+        "the full Fig 7 blockage grid (57 steady-state solves); honors "
+        "--jobs, so it measures the parallel speedup of the sweep runner",
+        _fig7_sweep,
         repeats=2,
     ),
 )
@@ -234,6 +253,7 @@ def run_scenarios(
     names: Sequence[str] | None = None,
     repeats: int | None = None,
     quick: bool = False,
+    jobs: int = 1,
     echo: Callable[[str], None] | None = None,
 ) -> dict[str, object]:
     """Run the suite and return the artifact dict (``BENCH_SCHEMA``).
@@ -241,6 +261,13 @@ def run_scenarios(
     Collection is forced on for the duration so every scenario reports
     its deterministic work counters; the registry's prior enabled state
     and contents are restored afterwards.
+
+    ``jobs`` reaches scenarios that measure a parallel sweep (e.g.
+    ``fig7_sweep``). With ``jobs > 1`` those scenarios do their solver
+    work in worker processes, so their counters move from the solver's
+    to the runner's — compare artifacts measured at the same ``jobs``.
+    The repeat loop itself always runs serially in-process through the
+    runner: timing demands the measured work own the interpreter.
     """
     selected = SCENARIOS
     if names is not None:
@@ -259,14 +286,23 @@ def run_scenarios(
     try:
         registry.enable()
         for scenario in selected:
-            runner = scenario.build(quick)
+            runner = scenario.build(quick, jobs)
             n_repeats = repeats or scenario.repeats
-            times: list[float] = []
-            for _ in range(n_repeats):
+
+            def run_once(_repeat: int) -> float:
                 registry.reset()
                 start = time.perf_counter()
                 runner()
-                times.append(time.perf_counter() - start)
+                return time.perf_counter() - start
+
+            times: list[float] = list(
+                sweep(
+                    run_once,
+                    range(n_repeats),
+                    jobs=1,
+                    label=f"bench.{scenario.name}",
+                )
+            )
             snapshot = registry.snapshot()
             results[scenario.name] = ScenarioResult(
                 name=scenario.name,
@@ -289,6 +325,7 @@ def run_scenarios(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": quick,
+        "jobs": jobs,
         "results": {name: result.to_dict() for name, result in results.items()},
     }
 
@@ -345,6 +382,16 @@ def compare_reports(
     if bool(current.get("quick")) != bool(baseline.get("quick")):
         comparison.regressions.append(
             "quick-mode mismatch between current and baseline reports"
+        )
+        return comparison
+    # Worker counts change both the times and where the counters land
+    # (parent vs pool workers), so cross-jobs comparisons are apples to
+    # oranges. Reports without the field (schema 1 artifacts predating
+    # the runner) count as jobs=1.
+    if int(current.get("jobs", 1)) != int(baseline.get("jobs", 1)):
+        comparison.regressions.append(
+            f"jobs mismatch between current ({current.get('jobs', 1)}) and "
+            f"baseline ({baseline.get('jobs', 1)}) reports"
         )
         return comparison
 
@@ -431,6 +478,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="smaller horizons for a fast smoke run (baseline must match)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parallel-capable scenarios such as "
+        "fig7_sweep (baseline must match; default 1)",
+    )
+    parser.add_argument(
         "--strict-counters",
         action="store_true",
         help="fail on any work-counter drift, not just slowdowns",
@@ -447,6 +502,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.tolerance < 0:
         print("tolerance must be non-negative", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     names = args.scenarios.split(",") if args.scenarios else None
     if names is not None:
         unknown = sorted(set(names) - set(scenario_names()))
@@ -460,7 +518,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"running {len(names or SCENARIOS)} benchmark scenarios "
           f"({'quick' if args.quick else 'full'} mode)...")
     report = run_scenarios(
-        names=names, repeats=args.repeats, quick=args.quick, echo=print
+        names=names,
+        repeats=args.repeats,
+        quick=args.quick,
+        jobs=args.jobs,
+        echo=print,
     )
 
     output_dir = Path(args.output_dir)

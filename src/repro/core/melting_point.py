@@ -25,9 +25,33 @@ from repro.dcsim.cluster import ClusterTopology
 from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
 from repro.errors import ConfigurationError
 from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.runner.pool import sweep
 from repro.server.characterization import PlatformCharacterization
 from repro.server.power import ServerPowerModel
 from repro.workload.trace import LoadTrace
+
+
+def _candidate_peak(task: tuple) -> float:
+    """Peak cooling load of one candidate melting point (sweep worker).
+
+    ``task`` carries everything a worker process needs:
+    ``(characterization, power_model, trace, topology, config,
+    melting_point_c)``. The baseline arm ships the wax-disabled config
+    with the window-low material, exactly as the serial search did.
+    """
+    characterization, power_model, trace, topology, config, melt_c = task
+    return (
+        DatacenterSimulator(
+            characterization,
+            power_model,
+            commercial_paraffin_with_melting_point(float(melt_c)),
+            trace,
+            topology=topology,
+            config=config,
+        )
+        .run()
+        .peak_cooling_load_w
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +82,7 @@ def optimize_melting_point(
     window_c: tuple[float, float] = (36.0, 60.0),
     step_c: float = 0.5,
     config: SimulationConfig | None = None,
+    jobs: int = 1,
 ) -> MeltingPointSearch:
     """Grid-search the wax melting point minimizing peak cooling load.
 
@@ -72,6 +97,12 @@ def optimize_melting_point(
     config:
         Simulation configuration; defaults to fluid mode (the search runs
         dozens of two-day simulations).
+    jobs:
+        Worker processes for the candidate grid. Every candidate (and
+        the wax-disabled baseline) is an independent two-day simulation,
+        so they fan out over :func:`repro.runner.pool.sweep`; results
+        come back in grid order, so the winning candidate is identical
+        to a serial search.
     """
     low, high = window_c
     if not low < high:
@@ -83,36 +114,27 @@ def optimize_melting_point(
     if not config.wax_enabled:
         raise ConfigurationError("melting-point search needs wax enabled")
 
-    baseline = DatacenterSimulator(
-        characterization,
-        power_model,
-        commercial_paraffin_with_melting_point(low),
-        trace,
-        topology=topology,
-        config=SimulationConfig(
-            mode=config.mode,
-            tick_interval_s=config.tick_interval_s,
-            slots_per_server=config.slots_per_server,
-            inlet_temperature_c=config.inlet_temperature_c,
-            wax_enabled=False,
-            seed=config.seed,
-        ),
-    ).run()
-    baseline_peak = baseline.peak_cooling_load_w
-
+    baseline_config = SimulationConfig(
+        mode=config.mode,
+        tick_interval_s=config.tick_interval_s,
+        slots_per_server=config.slots_per_server,
+        inlet_temperature_c=config.inlet_temperature_c,
+        wax_enabled=False,
+        seed=config.seed,
+    )
     candidates = np.arange(low, high + 0.5 * step_c, step_c)
-    peaks = np.empty(len(candidates))
-    for i, melting_point in enumerate(candidates):
-        material = commercial_paraffin_with_melting_point(float(melting_point))
-        result = DatacenterSimulator(
-            characterization,
-            power_model,
-            material,
-            trace,
-            topology=topology,
-            config=config,
-        ).run()
-        peaks[i] = result.peak_cooling_load_w
+    tasks = [
+        (characterization, power_model, trace, topology, baseline_config, low)
+    ]
+    tasks.extend(
+        (characterization, power_model, trace, topology, config, float(melt_c))
+        for melt_c in candidates
+    )
+    all_peaks = sweep(
+        _candidate_peak, tasks, jobs=jobs, label="runner.melting_point"
+    )
+    baseline_peak = float(all_peaks[0])
+    peaks = np.asarray(all_peaks[1:], dtype=float)
 
     best_index = int(np.argmin(peaks))
     return MeltingPointSearch(

@@ -28,12 +28,59 @@ from repro.dcsim.throttling import RoomTemperaturePolicy
 from repro.errors import ConfigurationError
 from repro.materials.library import commercial_paraffin_with_melting_point
 from repro.materials.pcm import PCMMaterial
+from repro.runner.pool import sweep
 from repro.server.characterization import (
     PlatformCharacterization,
     characterize_platform,
 )
 from repro.server.configs import PlatformSpec
 from repro.workload.trace import LoadTrace
+
+
+def _simulate_arm(task: tuple) -> SimulationResult:
+    """One cluster simulation (sweep worker for study arms).
+
+    ``task`` is ``(characterization, power_model, material, trace,
+    topology, config)`` — everything a worker process needs, all plain
+    picklable dataclasses.
+    """
+    characterization, power_model, material, trace, topology, config = task
+    return DatacenterSimulator(
+        characterization,
+        power_model,
+        material,
+        trace,
+        topology=topology,
+        config=config,
+    ).run()
+
+
+def _simulate_constrained_arm(task: tuple) -> SimulationResult:
+    """One capacity-limited arm of the throughput study (sweep worker).
+
+    The room model is constructed inside the worker so each arm gets a
+    fresh instance whether the sweep runs in-process or in a pool.
+    """
+    (
+        characterization,
+        power_model,
+        material,
+        trace,
+        topology,
+        config,
+        capacity_w,
+    ) = task
+    room = RoomModel.sized_for_cluster(capacity_w, topology.server_count)
+    return DatacenterSimulator(
+        characterization,
+        power_model,
+        material,
+        trace,
+        topology=topology,
+        policy=RoomTemperaturePolicy(room),
+        room=room,
+        config=config,
+    ).run()
 
 #: Characterizations are pure functions of the platform geometry; cache
 #: them so sweeps across materials and scenarios pay the detailed-model
@@ -118,6 +165,10 @@ class CoolingLoadStudy:
         configured material as-is.
     config:
         Simulation configuration (fluid mode by default).
+    jobs:
+        Worker processes for the study's independent simulations (the
+        melting-point grid and the baseline/PCM pair); ``1`` runs
+        everything serially in-process.
     """
 
     def __init__(
@@ -129,6 +180,7 @@ class CoolingLoadStudy:
         melting_window_c: tuple[float, float] = (36.0, 60.0),
         melting_step_c: float = 0.5,
         config: SimulationConfig | None = None,
+        jobs: int = 1,
     ) -> None:
         if spec.wax_loadout is None:
             raise ConfigurationError(
@@ -143,6 +195,7 @@ class CoolingLoadStudy:
         self.melting_window_c = melting_window_c
         self.melting_step_c = melting_step_c
         self.config = config or SimulationConfig(mode="fluid")
+        self.jobs = jobs
 
     def _config(self, wax_enabled: bool) -> SimulationConfig:
         base = self.config
@@ -170,6 +223,7 @@ class CoolingLoadStudy:
                 window_c=self.melting_window_c,
                 step_c=self.melting_step_c,
                 config=self._config(wax_enabled=True),
+                jobs=self.jobs,
             )
             material = commercial_paraffin_with_melting_point(
                 search.best_melting_point_c
@@ -177,18 +231,22 @@ class CoolingLoadStudy:
         else:
             material = self.spec.wax_loadout.material
 
-        def simulate(wax_enabled: bool) -> SimulationResult:
-            return DatacenterSimulator(
-                characterization,
-                power_model,
-                material,
-                self.trace,
-                topology=self.topology,
-                config=self._config(wax_enabled),
-            ).run()
-
-        baseline = simulate(wax_enabled=False)
-        with_pcm = simulate(wax_enabled=True)
+        baseline, with_pcm = sweep(
+            _simulate_arm,
+            [
+                (
+                    characterization,
+                    power_model,
+                    material,
+                    self.trace,
+                    self.topology,
+                    self._config(wax_enabled),
+                )
+                for wax_enabled in (False, True)
+            ],
+            jobs=self.jobs,
+            label="runner.cooling_load_arms",
+        )
         comparison = compare_peaks(
             CoolingLoadSeries.from_simulation(baseline),
             CoolingLoadSeries.from_simulation(with_pcm),
@@ -287,6 +345,9 @@ class ThroughputStudy:
         peak demand and the thermal-limit policy must intervene.
     material:
         Wax blend; defaults to the platform's configured material.
+    jobs:
+        Worker processes for the two constrained arms (they share the
+        ideal arm's capacity but are independent of each other).
     """
 
     def __init__(
@@ -297,6 +358,7 @@ class ThroughputStudy:
         topology: ClusterTopology | None = None,
         material: PCMMaterial | None = None,
         config: SimulationConfig | None = None,
+        jobs: int = 1,
     ) -> None:
         if spec.wax_loadout is None:
             raise ConfigurationError(
@@ -314,6 +376,7 @@ class ThroughputStudy:
         )
         self.material = material or spec.wax_loadout.material
         self.config = config or SimulationConfig(mode="fluid")
+        self.jobs = jobs
 
     def _config(self, wax_enabled: bool) -> SimulationConfig:
         base = self.config
@@ -336,31 +399,33 @@ class ThroughputStudy:
         characterization = cached_characterization(self.spec)
         power_model = self.spec.power_model
 
-        def simulate(
-            wax_enabled: bool, room: RoomModel | None
-        ) -> SimulationResult:
-            policy = RoomTemperaturePolicy(room) if room is not None else None
-            return DatacenterSimulator(
+        ideal_result = _simulate_arm(
+            (
                 characterization,
                 power_model,
                 self.material,
                 self.trace,
-                topology=self.topology,
-                policy=policy,
-                room=room,
-                config=self._config(wax_enabled),
-            ).run()
-
-        ideal_result = simulate(wax_enabled=False, room=None)
-        capacity = self.oversubscription * ideal_result.peak_cooling_load_w
-        n_servers = self.topology.server_count
-        no_wax_result = simulate(
-            wax_enabled=False,
-            room=RoomModel.sized_for_cluster(capacity, n_servers),
+                self.topology,
+                self._config(wax_enabled=False),
+            )
         )
-        with_wax_result = simulate(
-            wax_enabled=True,
-            room=RoomModel.sized_for_cluster(capacity, n_servers),
+        capacity = self.oversubscription * ideal_result.peak_cooling_load_w
+        no_wax_result, with_wax_result = sweep(
+            _simulate_constrained_arm,
+            [
+                (
+                    characterization,
+                    power_model,
+                    self.material,
+                    self.trace,
+                    self.topology,
+                    self._config(wax_enabled),
+                    capacity,
+                )
+                for wax_enabled in (False, True)
+            ],
+            jobs=self.jobs,
+            label="runner.throughput_arms",
         )
 
         # Normalize to the no-wax arm's peak, matching the paper's Figure

@@ -38,3 +38,8 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was requested that does not exist or cannot run."""
+
+
+class RunnerError(ReproError):
+    """A parallel sweep was misconfigured or a task exhausted its
+    attempts (failure or timeout)."""

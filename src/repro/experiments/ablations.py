@@ -11,6 +11,12 @@
   event mode: homogeneous clusters make the thermal outcome insensitive.
 * **DVFS power exponent** — how the constrained-datacenter gain depends
   on how power scales with the downclock.
+
+Every ablation point is an independent simulation, so each section's
+grid fans out over :func:`repro.runner.pool.sweep` when ``jobs > 1``.
+The workers rebuild their inputs (platform spec, trace, topology) from
+the point's parameters — synthesis is deterministic and cheaper than
+pickling shared arrays into every task.
 """
 
 from __future__ import annotations
@@ -23,11 +29,28 @@ from repro.core.melting_point import optimize_melting_point
 from repro.core.scenarios import ThroughputStudy, cached_characterization
 from repro.dcsim.cluster import ClusterTopology
 from repro.dcsim.loadbalancer import LeastLoaded, RoundRobin
+from repro.dcsim.rack_thermals import RackInletProfile
 from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
 from repro.experiments.registry import ExperimentResult
 from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.runner.pool import sweep
 from repro.server.configs import one_u_commodity
 from repro.workload.google import synthesize_google_trace
+
+#: The fixed frame every ablation varies around.
+_TOPOLOGY_SERVERS = 1008
+_BASE_MELT_C = 43.0
+
+
+def _base_inputs():
+    """(spec, characterization, trace, topology, material) for the 1U
+    frame; deterministic, so workers rebuild it instead of unpickling."""
+    spec = one_u_commodity()
+    characterization = cached_characterization(spec)
+    trace = synthesize_google_trace().total
+    topology = ClusterTopology(server_count=_TOPOLOGY_SERVERS)
+    material = commercial_paraffin_with_melting_point(_BASE_MELT_C)
+    return spec, characterization, trace, topology, material
 
 
 def _peak_reduction(characterization, power_model, material, trace, topology) -> float:
@@ -48,13 +71,128 @@ def _peak_reduction(characterization, power_model, material, trace, topology) ->
     return 1.0 - simulate(True) / simulate(False)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _volume_point(scale: float) -> tuple[float, float]:
+    """(best melting point, peak reduction) at one wax-volume scale.
+
+    The melting point is re-optimized per volume, as the paper does: a
+    bigger reservoir wants a later (higher) melting threshold so its
+    repayment lands overnight instead of on the evening shoulder.
+    Exchange area grows with volume^(2/3): the chassis footprint is
+    fixed, so more wax means thicker boxes, not proportionally more
+    surface.
+    """
+    spec, characterization, trace, topology, _ = _base_inputs()
+    ua_scale = scale ** (2.0 / 3.0)
+    scaled = dataclasses.replace(
+        characterization,
+        wax_mass_kg=characterization.wax_mass_kg * scale,
+        wax_volume_m3=characterization.wax_volume_m3 * scale,
+        wax_ua_w_per_k=tuple(
+            ua * ua_scale for ua in characterization.wax_ua_w_per_k
+        ),
+    )
+    search = optimize_melting_point(
+        scaled,
+        spec.power_model,
+        trace,
+        topology=topology,
+        window_c=(40.0, 50.0),
+        step_c=1.0,
+    )
+    return search.best_melting_point_c, search.best_reduction_fraction
+
+
+def _fusion_point(heat_of_fusion_j_per_kg: float | None) -> float:
+    """Peak reduction with the base material at one heat of fusion
+    (``None`` keeps the commercial blend untouched)."""
+    spec, characterization, trace, topology, material = _base_inputs()
+    if heat_of_fusion_j_per_kg is not None:
+        material = dataclasses.replace(
+            material,
+            name="eicosane-grade blend",
+            heat_of_fusion_j_per_kg=heat_of_fusion_j_per_kg,
+        )
+    return _peak_reduction(
+        characterization, spec.power_model, material, trace, topology
+    )
+
+
+def _lb_point(task: tuple[str, int]) -> tuple[float, float]:
+    """(peak cooling W, mean utilization) for one balancing policy in
+    event mode on a small cluster."""
+    label, event_servers = task
+    spec, characterization, trace, _, material = _base_inputs()
+    balancer = {"round-robin": RoundRobin, "least-loaded": LeastLoaded}[label]()
+    run_result = DatacenterSimulator(
+        characterization,
+        spec.power_model,
+        material,
+        trace,
+        topology=ClusterTopology(server_count=event_servers),
+        load_balancer=balancer,
+        config=SimulationConfig(mode="event", wax_enabled=True),
+    ).run()
+    return run_result.peak_cooling_load_w, float(
+        np.mean(run_result.utilization)
+    )
+
+
+def _dvfs_point(alpha: float) -> tuple[float, float, float]:
+    """(peak gain, elevated hours, throttled ceiling) at one DVFS power
+    exponent in the constrained scenario."""
+    spec, _, trace, _, _ = _base_inputs()
+    power_model = dataclasses.replace(spec.power_model, dvfs_exponent=alpha)
+    study = ThroughputStudy(
+        dataclasses.replace(
+            spec,
+            chassis=dataclasses.replace(spec.chassis, power_model=power_model),
+        ),
+        trace,
+        oversubscription=0.836,
+        material=commercial_paraffin_with_melting_point(45.0),
+    )
+    outcome = study.run()
+    throttled = outcome.no_wax.result.throttled_mask()
+    plateau = (
+        float(np.max(outcome.no_wax.normalized_throughput[throttled]))
+        if np.any(throttled)
+        else float("nan")
+    )
+    return outcome.peak_throughput_gain, outcome.elevated_hours, plateau
+
+
+def _hetero_point(spread: float) -> float:
+    """Peak reduction under one rack inlet-temperature spread
+    (stratification + recirculation + jitter)."""
+    spec, characterization, trace, topology, material = _base_inputs()
+    profile = RackInletProfile(
+        vertical_spread_c=spread,
+        recirculation_c=spread / 2.0,
+        jitter_c=spread / 10.0 if spread > 0 else 0.0,
+    )
+    offsets = profile.offsets_c(topology)
+
+    def run_arm(wax: bool) -> float:
+        return (
+            DatacenterSimulator(
+                characterization,
+                spec.power_model,
+                material,
+                trace,
+                topology=topology,
+                inlet_offsets_c=offsets,
+                config=SimulationConfig(mode="fluid", wax_enabled=wax),
+            )
+            .run()
+            .peak_cooling_load_w
+        )
+
+    return 1.0 - run_arm(True) / run_arm(False)
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Run all ablations on the 1U platform."""
-    spec = one_u_commodity()
-    characterization = cached_characterization(spec)
-    trace = synthesize_google_trace().total
-    topology = ClusterTopology(server_count=1008)
-    material = commercial_paraffin_with_melting_point(43.0)
+    spec, characterization, trace, topology, _ = _base_inputs()
 
     result = ExperimentResult(
         experiment_id="ablations",
@@ -62,42 +200,19 @@ def run(quick: bool = False) -> ExperimentResult:
     )
 
     # -- wax volume --------------------------------------------------------
-    # The melting point is re-optimized per volume, as the paper does: a
-    # bigger reservoir wants a later (higher) melting threshold so its
-    # repayment lands overnight instead of on the evening shoulder.
     scales = (0.5, 1.0, 2.0) if quick else (0.25, 0.5, 1.0, 1.5, 2.0)
-    volume_rows = []
-    reductions = []
-    for scale in scales:
-        # Exchange area grows with volume^(2/3): the chassis footprint is
-        # fixed, so more wax means thicker boxes, not proportionally more
-        # surface.
-        ua_scale = scale ** (2.0 / 3.0)
-        scaled = dataclasses.replace(
-            characterization,
-            wax_mass_kg=characterization.wax_mass_kg * scale,
-            wax_volume_m3=characterization.wax_volume_m3 * scale,
-            wax_ua_w_per_k=tuple(
-                ua * ua_scale for ua in characterization.wax_ua_w_per_k
-            ),
-        )
-        search = optimize_melting_point(
-            scaled,
-            spec.power_model,
-            trace,
-            topology=topology,
-            window_c=(40.0, 50.0),
-            step_c=1.0,
-        )
-        reduction = search.best_reduction_fraction
-        reductions.append(reduction)
-        volume_rows.append(
-            [
-                f"{scale:.2f}x ({scale * 1.2:.1f} L)",
-                f"{search.best_melting_point_c:.0f}",
-                f"{reduction:.1%}",
-            ]
-        )
+    volume_points = sweep(
+        _volume_point, scales, jobs=jobs, label="runner.ablation_volume"
+    )
+    reductions = [reduction for _, reduction in volume_points]
+    volume_rows = [
+        [
+            f"{scale:.2f}x ({scale * 1.2:.1f} L)",
+            f"{best_melt:.0f}",
+            f"{reduction:.1%}",
+        ]
+        for scale, (best_melt, reduction) in zip(scales, volume_points)
+    ]
     result.tables["wax volume vs peak reduction"] = (
         ["deployed wax", "best melt (C)", "peak cooling reduction"],
         volume_rows,
@@ -125,6 +240,7 @@ def run(quick: bool = False) -> ExperimentResult:
         topology=topology,
         window_c=(38.0, 56.0),
         step_c=step,
+        jobs=jobs,
     )
     melt_rows = [
         [f"{temp:.1f}", f"{1.0 - peak / search.baseline_peak_w:.1%}"]
@@ -138,14 +254,11 @@ def run(quick: bool = False) -> ExperimentResult:
     result.summary["best_reduction"] = search.best_reduction_fraction
 
     # -- heat of fusion ----------------------------------------------------
-    premium = dataclasses.replace(
-        material, name="eicosane-grade blend", heat_of_fusion_j_per_kg=247_000.0
-    )
-    commercial_reduction = _peak_reduction(
-        characterization, spec.power_model, material, trace, topology
-    )
-    premium_reduction = _peak_reduction(
-        characterization, spec.power_model, premium, trace, topology
+    commercial_reduction, premium_reduction = sweep(
+        _fusion_point,
+        [None, 247_000.0],
+        jobs=jobs,
+        label="runner.ablation_fusion",
     )
     result.tables["heat of fusion"] = (
         ["material", "heat of fusion", "peak reduction"],
@@ -160,28 +273,20 @@ def run(quick: bool = False) -> ExperimentResult:
 
     # -- load balancing policy (event mode, small cluster) -------------------
     event_servers = 32 if quick else 96
-    event_topology = ClusterTopology(server_count=event_servers)
-    lb_rows = []
-    lb_peaks = {}
-    for label, balancer in (("round-robin", RoundRobin()), ("least-loaded", LeastLoaded())):
-        sim = DatacenterSimulator(
-            characterization,
-            spec.power_model,
-            material,
-            trace,
-            topology=event_topology,
-            load_balancer=balancer,
-            config=SimulationConfig(mode="event", wax_enabled=True),
-        )
-        run_result = sim.run()
-        lb_peaks[label] = run_result.peak_cooling_load_w
-        lb_rows.append(
-            [
-                label,
-                f"{run_result.peak_cooling_load_w / event_servers:.1f}",
-                f"{float(np.mean(run_result.utilization)):.3f}",
-            ]
-        )
+    lb_labels = ("round-robin", "least-loaded")
+    lb_points = sweep(
+        _lb_point,
+        [(label, event_servers) for label in lb_labels],
+        jobs=jobs,
+        label="runner.ablation_lb",
+    )
+    lb_peaks = {
+        label: peak for label, (peak, _) in zip(lb_labels, lb_points)
+    }
+    lb_rows = [
+        [label, f"{peak / event_servers:.1f}", f"{mean_util:.3f}"]
+        for label, (peak, mean_util) in zip(lb_labels, lb_points)
+    ]
     result.tables["load balancing policy (event mode)"] = (
         ["policy", "peak cooling W/server", "mean utilization"],
         lb_rows,
@@ -192,73 +297,32 @@ def run(quick: bool = False) -> ExperimentResult:
 
     # -- DVFS power exponent -------------------------------------------------
     exponents = (1.0, 2.2) if quick else (1.0, 1.5, 2.2, 3.0)
-    dvfs_rows = []
-    for alpha in exponents:
-        power_model = dataclasses.replace(spec.power_model, dvfs_exponent=alpha)
-        study = ThroughputStudy(
-            dataclasses.replace(spec, chassis=spec.chassis),
-            trace,
-            oversubscription=0.836,
-            material=commercial_paraffin_with_melting_point(45.0),
-        )
-        # Swap the power model by running the arms manually through the
-        # study's machinery: rebuild with a modified spec power model.
-        study.spec = dataclasses.replace(
-            spec,
-            chassis=dataclasses.replace(spec.chassis, power_model=power_model),
-        )
-        outcome = study.run()
-        throttled = outcome.no_wax.result.throttled_mask()
-        plateau = (
-            float(np.max(outcome.no_wax.normalized_throughput[throttled]))
-            if np.any(throttled)
-            else float("nan")
-        )
-        dvfs_rows.append(
-            [
-                f"{alpha:.1f}",
-                f"+{outcome.peak_throughput_gain:.0%}",
-                f"{outcome.elevated_hours:.1f}h",
-                f"{plateau:.2f}",
-            ]
-        )
+    dvfs_points = sweep(
+        _dvfs_point, exponents, jobs=jobs, label="runner.ablation_dvfs"
+    )
+    dvfs_rows = [
+        [
+            f"{alpha:.1f}",
+            f"+{gain:.0%}",
+            f"{elevated:.1f}h",
+            f"{plateau:.2f}",
+        ]
+        for alpha, (gain, elevated, plateau) in zip(exponents, dvfs_points)
+    ]
     result.tables["DVFS power exponent (constrained scenario)"] = (
         ["exponent", "peak gain", "elevated hours", "throttled ceiling"],
         dvfs_rows,
     )
 
     # -- inlet heterogeneity (rack stratification / recirculation) ----------
-    from repro.dcsim.rack_thermals import RackInletProfile
-
     spreads = (0.0, 4.0) if quick else (0.0, 2.0, 4.0, 6.0)
-    hetero_rows = []
-    hetero_reductions = []
-    for spread in spreads:
-        profile = RackInletProfile(
-            vertical_spread_c=spread,
-            recirculation_c=spread / 2.0,
-            jitter_c=spread / 10.0 if spread > 0 else 0.0,
-        )
-        offsets = profile.offsets_c(topology)
-
-        def run_arm(wax: bool) -> float:
-            return (
-                DatacenterSimulator(
-                    characterization,
-                    spec.power_model,
-                    material,
-                    trace,
-                    topology=topology,
-                    inlet_offsets_c=offsets,
-                    config=SimulationConfig(mode="fluid", wax_enabled=wax),
-                )
-                .run()
-                .peak_cooling_load_w
-            )
-
-        reduction = 1.0 - run_arm(True) / run_arm(False)
-        hetero_reductions.append(reduction)
-        hetero_rows.append([f"{spread:.0f} degC", f"{reduction:.1%}"])
+    hetero_reductions = sweep(
+        _hetero_point, spreads, jobs=jobs, label="runner.ablation_hetero"
+    )
+    hetero_rows = [
+        [f"{spread:.0f} degC", f"{reduction:.1%}"]
+        for spread, reduction in zip(spreads, hetero_reductions)
+    ]
     result.tables["inlet heterogeneity vs peak reduction"] = (
         ["rack inlet spread", "peak cooling reduction"],
         hetero_rows,

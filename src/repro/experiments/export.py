@@ -18,6 +18,25 @@ from repro.errors import ExperimentError
 from repro.experiments.registry import ExperimentResult
 
 
+def _scalar(value: object, *, experiment_id: str, section: str, key: str) -> float:
+    """Coerce one summary/paper entry to a plain float, or refuse loudly.
+
+    Accepts Python and NumPy reals (``bool`` included, as ``int`` is);
+    anything else — strings, complex numbers, arrays, ``None`` — used to
+    slide through ``float(v)`` with a context-free ``TypeError`` or, worse,
+    a silent lossy parse. Name the experiment and key instead.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return float(value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    raise ExperimentError(
+        f"experiment {experiment_id!r}: {section}[{key!r}] is "
+        f"{type(value).__name__}, not a real scalar; export refuses to "
+        "coerce it"
+    )
+
+
 def export_result(result: ExperimentResult, output_dir: str | Path) -> list[Path]:
     """Write one experiment's artifacts; returns the files written."""
     directory = Path(output_dir)
@@ -47,8 +66,24 @@ def export_result(result: ExperimentResult, output_dir: str | Path) -> list[Path
     payload: dict[str, object] = {
         "experiment_id": result.experiment_id,
         "title": result.title,
-        "summary": {k: float(v) for k, v in result.summary.items()},
-        "paper": {k: float(v) for k, v in result.paper.items()},
+        "summary": {
+            k: _scalar(
+                v,
+                experiment_id=result.experiment_id,
+                section="summary",
+                key=k,
+            )
+            for k, v in result.summary.items()
+        },
+        "paper": {
+            k: _scalar(
+                v,
+                experiment_id=result.experiment_id,
+                section="paper",
+                key=k,
+            )
+            for k, v in result.paper.items()
+        },
     }
     # Only present when observability collection was on for the run, so
     # default exports are unchanged byte for byte.

@@ -10,10 +10,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.registry import ExperimentResult
+from repro.runner.pool import sweep
 from repro.workload.google import synthesize_google_trace
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _class_mean(name: str) -> float:
+    """Mean load of one workload class (sweep worker).
+
+    Re-synthesizes the trace in the worker: synthesis is deterministic
+    and cheap, so shipping the name beats shipping the arrays.
+    """
+    components = synthesize_google_trace()
+    return float(np.mean(components.components()[name].values))
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Synthesize Figure 10 and report its normalization statistics."""
     components = synthesize_google_trace()
     total = components.total
@@ -29,10 +40,18 @@ def run(quick: bool = False) -> ExperimentResult:
         "mapreduce": components.mapreduce.values,
         "total": total.values,
     }
-    per_class = {
-        name: float(np.mean(trace.values))
-        for name, trace in components.components().items()
-    }
+    class_names = list(components.components())
+    per_class = dict(
+        zip(
+            class_names,
+            sweep(
+                _class_mean,
+                class_names,
+                jobs=jobs,
+                label="runner.fig10_classes",
+            ),
+        )
+    )
     rows = [
         [name, f"{mean:.3f}", f"{mean / total.average:.1%}"]
         for name, mean in per_class.items()

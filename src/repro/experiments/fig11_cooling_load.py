@@ -28,8 +28,13 @@ PAPER_COOLING_SAVINGS_USD = {"1u": 187_000.0, "2u": 254_000.0, "ocp": 174_000.0}
 PAPER_RETROFIT_USD = {"1u": 3.0e6, "2u": 3.2e6, "ocp": 3.1e6}
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Run the Section 5.1 study for every platform."""
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    """Run the Section 5.1 study for every platform.
+
+    ``jobs`` fans out each study's melting-point grid (dozens of
+    independent two-day simulations) and its baseline/PCM arm pair;
+    platforms stay sequential so one pool is busy at a time.
+    """
     trace = synthesize_google_trace().total
     window = (38.0, 56.0) if quick else (36.0, 60.0)
     step = 2.0 if quick else 0.5
@@ -46,6 +51,7 @@ def run(quick: bool = False) -> ExperimentResult:
             trace,
             melting_window_c=window,
             melting_step_c=step,
+            jobs=jobs,
         ).run()
 
         reduction = outcome.peak_reduction_fraction

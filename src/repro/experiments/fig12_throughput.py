@@ -19,9 +19,10 @@ Paper headline values: +33% peak throughput over 5.1 h (1U), +69% over
 
 from __future__ import annotations
 
-from repro.core.scenarios import ThroughputStudy
+from repro.core.scenarios import ThroughputOutcome, ThroughputStudy
 from repro.experiments.registry import ExperimentResult
 from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.runner.pool import sweep
 from repro.server.configs import PLATFORM_BUILDERS
 from repro.tco.params import platform_tco_parameters
 from repro.tco.scenarios import tco_efficiency
@@ -39,24 +40,44 @@ PAPER_ELEVATED_HOURS = {"1u": 5.1, "2u": 3.1, "ocp": 3.1}
 PAPER_TCO_EFFICIENCY = {"1u": 0.23, "2u": 0.39, "ocp": 0.24}
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Run the Section 5.2 study for every platform."""
-    trace = synthesize_google_trace().total
+def _platform_outcome(platform: str) -> ThroughputOutcome:
+    """Run one platform's three-arm study (sweep worker).
 
+    The trace is re-synthesized in the worker — deterministic and far
+    cheaper to recreate than to pickle alongside three result arms.
+    """
+    spec = PLATFORM_BUILDERS[platform]()
+    oversubscription, melt = SCENARIO_CALIBRATION[platform]
+    return ThroughputStudy(
+        spec,
+        synthesize_google_trace().total,
+        oversubscription=oversubscription,
+        material=commercial_paraffin_with_melting_point(melt),
+    ).run()
+
+
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    """Run the Section 5.2 study for every platform.
+
+    ``jobs`` fans the three platform studies across worker processes;
+    inside a worker each study runs its arms serially (no nested
+    pools).
+    """
     result = ExperimentResult(
         experiment_id="fig12",
         title="Cluster throughput in a thermally constrained datacenter",
     )
+    platforms = list(PLATFORM_BUILDERS)
+    outcomes = sweep(
+        _platform_outcome,
+        platforms,
+        jobs=jobs,
+        label="runner.fig12_platforms",
+    )
     rows = []
-    for platform, build in PLATFORM_BUILDERS.items():
-        spec = build()
+    for platform, outcome in zip(platforms, outcomes):
+        spec = PLATFORM_BUILDERS[platform]()
         oversubscription, melt = SCENARIO_CALIBRATION[platform]
-        outcome = ThroughputStudy(
-            spec,
-            trace,
-            oversubscription=oversubscription,
-            material=commercial_paraffin_with_melting_point(melt),
-        ).run()
 
         gain = outcome.peak_throughput_gain
         elevated = outcome.elevated_hours

@@ -19,59 +19,96 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.registry import ExperimentResult
+from repro.runner.pool import sweep
 from repro.server.chassis import constant_utilization
 from repro.server.configs import PLATFORM_BUILDERS
 from repro.thermal.steady_state import solve_steady_state
 
 
+def _solve_point(task: tuple[str, float]) -> tuple[float, float]:
+    """Steady (outlet, hottest CPU) temperatures at one grille setting.
+
+    Sweep worker: every ``(platform, fraction)`` point is an
+    independent steady-state solve, so the whole grid fans out.
+    """
+    platform, fraction = task
+    spec = PLATFORM_BUILDERS[platform]()
+    chassis = spec.chassis.with_grille_blockage(float(fraction))
+    network = chassis.build_network(constant_utilization(1.0))
+    steady = solve_steady_state(network)
+    cpu = max(
+        value
+        for name, value in steady.temperatures_c.items()
+        if name.startswith("cpu")
+    )
+    return steady.outlet_temperature_c(), cpu
+
+
 def blockage_sweep(
-    platform: str, fractions: np.ndarray
+    platform: str, fractions: np.ndarray, jobs: int = 1
 ) -> dict[str, np.ndarray]:
     """Steady outlet and (hottest) CPU temperatures across a grille sweep."""
-    spec = PLATFORM_BUILDERS[platform]()
-    outlet = np.empty(len(fractions))
-    cpu = np.empty(len(fractions))
-    for i, fraction in enumerate(fractions):
-        chassis = spec.chassis.with_grille_blockage(float(fraction))
-        network = chassis.build_network(constant_utilization(1.0))
-        steady = solve_steady_state(network)
-        outlet[i] = steady.outlet_temperature_c()
-        cpu[i] = max(
-            value
-            for name, value in steady.temperatures_c.items()
-            if name.startswith("cpu")
-        )
+    points = sweep(
+        _solve_point,
+        [(platform, float(fraction)) for fraction in fractions],
+        jobs=jobs,
+        label="runner.fig7_blockage",
+    )
+    outlet = np.array([point[0] for point in points])
+    cpu = np.array([point[1] for point in points])
     return {"blockage": fractions, "outlet_c": outlet, "cpu_c": cpu}
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Sweep grille blockage for all three platforms."""
+def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
+    """Sweep grille blockage for all three platforms.
+
+    With ``jobs > 1`` the full ``platform x fraction`` grid fans out
+    over one process pool rather than three sequential per-platform
+    sweeps, so small grids still fill every worker.
+    """
     step = 0.15 if quick else 0.05
     fractions = np.arange(0.0, 0.90 + 1e-9, step)
+    platforms = ("1u", "2u", "ocp")
 
     result = ExperimentResult(
         experiment_id="fig7",
         title="Server temperatures vs airflow blockage",
     )
+    grid = [
+        (platform, float(fraction))
+        for platform in platforms
+        for fraction in fractions
+    ]
+    points = sweep(
+        _solve_point, grid, jobs=jobs, label="runner.fig7_blockage"
+    )
+
     sweeps = {}
-    for platform in ("1u", "2u", "ocp"):
-        sweep = blockage_sweep(platform, fractions)
-        sweeps[platform] = sweep
-        result.series[f"{platform}_blockage"] = sweep["blockage"]
-        result.series[f"{platform}_outlet_c"] = sweep["outlet_c"]
-        result.series[f"{platform}_cpu_c"] = sweep["cpu_c"]
+    for index, platform in enumerate(platforms):
+        segment = points[index * len(fractions) : (index + 1) * len(fractions)]
+        curve = {
+            "blockage": fractions,
+            "outlet_c": np.array([point[0] for point in segment]),
+            "cpu_c": np.array([point[1] for point in segment]),
+        }
+        sweeps[platform] = curve
+        result.series[f"{platform}_blockage"] = curve["blockage"]
+        result.series[f"{platform}_outlet_c"] = curve["outlet_c"]
+        result.series[f"{platform}_cpu_c"] = curve["cpu_c"]
         rows = [
             [f"{b:.0%}", f"{o:.1f}", f"{c:.1f}"]
-            for b, o, c in zip(sweep["blockage"], sweep["outlet_c"], sweep["cpu_c"])
+            for b, o, c in zip(
+                curve["blockage"], curve["outlet_c"], curve["cpu_c"]
+            )
         ]
         result.tables[f"Fig 7 ({platform}): temperatures vs blockage"] = (
             ["blocked", "outlet degC", "hottest CPU degC"],
             rows,
         )
 
-    def rise(sweep: dict[str, np.ndarray], key: str, fraction: float) -> float:
-        index = int(np.argmin(np.abs(sweep["blockage"] - fraction)))
-        return float(sweep[key][index] - sweep[key][0])
+    def rise(curve: dict[str, np.ndarray], key: str, fraction: float) -> float:
+        index = int(np.argmin(np.abs(curve["blockage"] - fraction)))
+        return float(curve[key][index] - curve[key][0])
 
     result.summary = {
         "1u_outlet_rise_at_90pct_c": rise(sweeps["1u"], "outlet_c", 0.90),

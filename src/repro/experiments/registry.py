@@ -1,10 +1,24 @@
-"""Experiment result type, registry, and command-line entry point."""
+"""Experiment result type, registry, and command-line entry point.
+
+Execution plumbing lives on :mod:`repro.runner`:
+
+* ``--jobs N`` / the ``jobs`` keyword fan work over worker processes —
+  across experiments in :func:`run_all`, and inside any experiment
+  whose ``run()`` accepts a ``jobs`` argument (the blockage sweep, the
+  cluster studies, the ablations).
+* ``--cache DIR`` / the ``cache`` keyword (or ``REPRO_CACHE_DIR``)
+  turn on the content-addressed result cache: a re-run of an already
+  computed ``(experiment, quick)`` point is a disk read. Off by
+  default, so outputs stay byte-identical with no cache directory.
+"""
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -12,6 +26,12 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
 from repro.obs import get_registry
+from repro.runner.cache import ResultCache, resolve_cache
+from repro.runner.pool import sweep
+from repro.runner.serialize import (
+    decode_experiment_result,
+    encode_experiment_result,
+)
 
 
 @dataclass
@@ -85,8 +105,47 @@ def all_experiment_ids() -> list[str]:
     return list(_REGISTRY)
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id."""
+def _experiment_spec(experiment_id: str, quick: bool) -> dict[str, object]:
+    """Cache address of one ``(experiment, quick)`` point.
+
+    ``jobs`` is deliberately absent: parallelism must not change the
+    result, so a point computed with any worker count answers for all.
+    """
+    return {
+        "kind": "experiment",
+        "id": experiment_id,
+        "quick": bool(quick),
+    }
+
+
+def _call_run(module, quick: bool, jobs: int) -> ExperimentResult:
+    """Invoke ``module.run``, passing ``jobs`` only where supported."""
+    parameters = inspect.signature(module.run).parameters
+    if "jobs" in parameters:
+        return module.run(quick=quick, jobs=jobs)
+    return module.run(quick=quick)
+
+
+def run_experiment(
+    experiment_id: str,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the experiment's internal sweeps (ignored
+        by experiments with nothing to fan out).
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`, a cache directory,
+        or ``None`` to fall through to ``REPRO_CACHE_DIR`` (and run
+        uncached when that is unset). On a hit the stored result is
+        returned without running anything; ``perf`` is left empty, as
+        the stored run's measurements would misdescribe the lookup.
+    """
     try:
         module_name = _REGISTRY[experiment_id]
     except KeyError:
@@ -95,14 +154,98 @@ def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
             f"{all_experiment_ids()}"
         ) from None
     module = importlib.import_module(module_name)
+    store = resolve_cache(cache)
+    spec = _experiment_spec(experiment_id, quick)
+    if store is not None:
+        from repro.runner.cache import MISS
+
+        payload = store.get(spec)
+        if payload is not MISS:
+            return decode_experiment_result(payload)
+
     registry = get_registry()
     if not registry.enabled:
-        return module.run(quick=quick)
-    with registry.collect() as collection:
-        with registry.timer(f"experiment.{experiment_id}"):
-            result = module.run(quick=quick)
-    result.perf = collection.report.perf_section()
+        result = _call_run(module, quick, jobs)
+    else:
+        with registry.collect() as collection:
+            with registry.timer(f"experiment.{experiment_id}"):
+                result = _call_run(module, quick, jobs)
+        result.perf = collection.report.perf_section()
+    if store is not None:
+        store.put(spec, encode_experiment_result(result))
     return result
+
+
+def _run_encoded(task: tuple) -> dict[str, object]:
+    """Sweep worker for :func:`run_all`: run one experiment, return it
+    in the codec's value space (cheap to pickle, ready to cache)."""
+    experiment_id, quick = task
+    return encode_experiment_result(
+        run_experiment(experiment_id, quick=quick, jobs=1, cache=False)
+    )
+
+
+def run_all(
+    experiment_ids: Sequence[str] | None = None,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> list[ExperimentResult]:
+    """Run several experiments, optionally fanned across processes.
+
+    Results come back in request order. Cache hits are resolved in the
+    parent process under the same addresses :func:`run_experiment`
+    uses, so serial and parallel runs share one cache population.
+    """
+    ids = list(experiment_ids) if experiment_ids else all_experiment_ids()
+    unknown = [eid for eid in ids if eid not in _REGISTRY]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiments {unknown}; choose from "
+            f"{all_experiment_ids()}"
+        )
+    store = resolve_cache(cache)
+
+    results: list[ExperimentResult | None] = [None] * len(ids)
+    pending: list[int] = []
+    if store is not None:
+        from repro.runner.cache import MISS
+
+        for index, eid in enumerate(ids):
+            payload = store.get(_experiment_spec(eid, quick))
+            if payload is MISS:
+                pending.append(index)
+            else:
+                results[index] = decode_experiment_result(payload)
+    else:
+        pending = list(range(len(ids)))
+
+    if len(pending) > 1 and jobs > 1:
+        encoded = sweep(
+            _run_encoded,
+            [(ids[index], quick) for index in pending],
+            jobs=jobs,
+            label="runner.experiments",
+        )
+        for index, payload in zip(pending, encoded):
+            results[index] = decode_experiment_result(payload)
+            if store is not None:
+                store.put(_experiment_spec(ids[index], quick), payload)
+    else:
+        for index in pending:
+            # The pre-check above already established these are misses;
+            # run uncached and store parent-side (like the parallel
+            # path) so each miss is counted and fetched exactly once.
+            result = run_experiment(
+                ids[index], quick=quick, jobs=jobs, cache=False
+            )
+            results[index] = result
+            if store is not None:
+                store.put(
+                    _experiment_spec(ids[index], quick),
+                    encode_experiment_result(result),
+                )
+    return [result for result in results if result is not None]
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -122,14 +265,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="smaller sweeps for a fast smoke run",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes: across experiments when several are "
+        "requested, inside the experiment otherwise (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (default off; "
+        "bare --cache uses %(const)s, REPRO_CACHE_DIR also enables it)",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         help="also export series CSVs, summary JSONs, and rendered tables",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     ids = args.experiments or all_experiment_ids()
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=args.quick)
+    results = run_all(ids, quick=args.quick, jobs=args.jobs, cache=args.cache)
+    for result in results:
         print(result.render())
         if result.perf:
             wall = result.perf.get("wall_time_s", 0.0)
@@ -137,7 +299,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             interesting = {
                 name: value
                 for name, value in counters.items()
-                if name.startswith(("solver.", "dcsim."))
+                if name.startswith(("solver.", "dcsim.", "runner."))
             }
             print(f"\n[perf] wall {wall:.3f}s  " + "  ".join(
                 f"{name}={value}" for name, value in sorted(interesting.items())
@@ -148,6 +310,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             for path in export_result(result, args.output_dir):
                 print(f"wrote {path}")
+    registry = get_registry()
+    if registry.enabled:
+        counters = registry.snapshot().counters
+        cache_lines = "  ".join(
+            f"{name}={value}"
+            for name, value in sorted(counters.items())
+            if name.startswith("runner.cache.")
+        )
+        if cache_lines:
+            print(f"[cache] {cache_lines}")
     return 0
 
 

@@ -1,0 +1,218 @@
+"""Canonical encoding for cache keys and array-aware result payloads.
+
+Two jobs live here, sharing one tagged encoding:
+
+* **cache keys** — :func:`canonical_json` renders any scenario
+  configuration (nested dicts, lists, tuples, numpy scalars and arrays)
+  to a deterministic string: object keys are sorted, whitespace is
+  fixed, and every value type has exactly one spelling. Hashing that
+  string gives a content address that is invariant to dict insertion
+  order and sensitive to any value change.
+* **payload storage** — :func:`encode` / :func:`decode` round-trip the
+  same value space exactly, including ``NaN``/``inf`` floats, empty
+  arrays, non-ASCII keys, and numpy scalar types (an ``np.float64`` in
+  comes back an ``np.float64``, not a bare ``float`` — and never
+  silently coerced; see :func:`decode`).
+
+The tagged forms (``__tuple__``, ``__ndarray__``, ``__npscalar__``,
+``__float__``) are objects whose single key cannot collide with plain
+data: any dict that *contains* one of those keys alongside others, or
+with a different value shape, is rejected rather than misread.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Tag keys; a plain payload dict must not use these as its sole key.
+_TAGS = ("__tuple__", "__ndarray__", "__npscalar__", "__float__")
+
+
+class SerializationError(ReproError):
+    """A value cannot be canonically encoded (or a payload decoded)."""
+
+
+def _encode_float(value: float) -> Any:
+    """Floats that strict JSON cannot carry become tagged hex strings."""
+    if math.isfinite(value):
+        return value
+    return {"__float__": value.hex() if not math.isnan(value) else "nan"}
+
+
+def _decode_float(spec: str) -> float:
+    return float("nan") if spec == "nan" else float.fromhex(spec)
+
+
+def encode(value: Any) -> Any:
+    """Recursively convert ``value`` into a JSON-able tagged structure.
+
+    Accepts ``None``, ``bool``, ``int``, ``float``, ``str``, numpy
+    scalars and arrays, and ``dict``/``list``/``tuple`` containers
+    (dict keys must be strings). Anything else — sets, bytes, arbitrary
+    objects — raises :class:`SerializationError` instead of guessing.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    # numpy scalars first: np.float64 *subclasses* float (and np.int_
+    # can subclass int on some platforms), so the plain-number branches
+    # below would silently strip the numpy type.
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        kind = type(value).__name__
+        if isinstance(value, np.bool_):
+            payload: Any = bool(value)
+        elif isinstance(value, np.integer):
+            payload = int(value)
+        else:
+            payload = _encode_float(float(value))
+        return {"__npscalar__": [kind, payload]}
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return _encode_float(value)
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            raise SerializationError(
+                "object-dtype arrays have no canonical encoding"
+            )
+        return {
+            "__ndarray__": {
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "data": base64.b64encode(
+                    np.ascontiguousarray(value).tobytes()
+                ).decode("ascii"),
+            }
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be strings, got {type(key).__name__}"
+                )
+            out[key] = encode(item)
+        if len(out) == 1 and next(iter(out)) in _TAGS:
+            raise SerializationError(
+                f"dict key {next(iter(out))!r} collides with a codec tag"
+            )
+        return out
+    raise SerializationError(
+        f"cannot canonically encode {type(value).__name__}"
+    )
+
+
+def decode(value: Any) -> Any:
+    """Inverse of :func:`encode`; exact, including NaN and numpy types."""
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            tag, body = next(iter(value.items()))
+            if tag == "__float__":
+                return _decode_float(body)
+            if tag == "__tuple__":
+                return tuple(decode(item) for item in body)
+            if tag == "__npscalar__":
+                kind, payload = body
+                try:
+                    ctor = getattr(np, kind)
+                except AttributeError:
+                    raise SerializationError(
+                        f"unknown numpy scalar kind {kind!r}"
+                    ) from None
+                if isinstance(payload, dict):
+                    payload = _decode_float(payload["__float__"])
+                return ctor(payload)
+            if tag == "__ndarray__":
+                dtype = np.dtype(body["dtype"])
+                raw = base64.b64decode(body["data"])
+                return np.frombuffer(raw, dtype=dtype).reshape(
+                    body["shape"]
+                ).copy()
+        return {key: decode(item) for key, item in value.items()}
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text of ``value`` (the cache-key substrate).
+
+    Keys are sorted, separators are fixed, and non-ASCII is escaped so
+    the byte stream is identical across platforms and locales.
+    """
+    return json.dumps(
+        encode(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def dumps_payload(value: Any) -> str:
+    """Serialize a payload for on-disk storage.
+
+    Unlike :func:`canonical_json` (the key substrate), keys are *not*
+    sorted: dict insertion order is part of an exact round-trip —
+    summary tables and CSV column order must come back as written.
+    """
+    return json.dumps(
+        encode(value),
+        indent=1,
+        ensure_ascii=False,
+        allow_nan=False,
+    )
+
+
+def loads_payload(text: str) -> Any:
+    """Inverse of :func:`dumps_payload`."""
+    return decode(json.loads(text))
+
+
+def encode_experiment_result(result: Any) -> dict[str, Any]:
+    """Flatten an :class:`~repro.experiments.registry.ExperimentResult`
+    into the codec's value space.
+
+    ``perf`` is deliberately dropped: it describes the *run that
+    produced the result*, so replaying it from a cache would misreport
+    a hit as the original cold run.
+    """
+    return {
+        "kind": "ExperimentResult",
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": result.tables,
+        "series": result.series,
+        "summary": result.summary,
+        "paper": result.paper,
+    }
+
+
+def decode_experiment_result(payload: dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_experiment_result`."""
+    from repro.experiments.registry import ExperimentResult
+
+    if payload.get("kind") != "ExperimentResult":
+        raise SerializationError(
+            f"payload kind {payload.get('kind')!r} is not an ExperimentResult"
+        )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        tables=payload["tables"],
+        series=payload["series"],
+        summary=payload["summary"],
+        paper=payload["paper"],
+    )

@@ -22,6 +22,24 @@ from repro.workload.trace import LoadTrace
 from repro.units import hours
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate tests/golden/*.json from the current code instead "
+            "of comparing against it"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """True when the run should rewrite the golden files."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def one_u_spec():
     """The 1U low-power platform."""

@@ -1,0 +1,60 @@
+"""End-to-end determinism: parallelism and caching never change outputs.
+
+Runs the same experiment four ways — cold cache, warm cache, one worker,
+four workers — exports each run, and requires the artifacts to be
+byte-identical. This is the contract that makes ``--jobs`` and
+``--cache`` safe to use anywhere: they are pure wall-clock knobs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import export_result
+from repro.experiments.registry import run_experiment
+from repro.runner import ResultCache
+
+EXPERIMENT = "fig7"
+
+
+def _export_bytes(result, directory: Path) -> dict[str, bytes]:
+    return {
+        path.name: path.read_bytes()
+        for path in export_result(result, directory)
+    }
+
+
+@pytest.fixture(scope="module")
+def reference_export(tmp_path_factory):
+    """The plain serial, uncached run everything must match."""
+    out = tmp_path_factory.mktemp("reference")
+    result = run_experiment(EXPERIMENT, quick=True, jobs=1, cache=False)
+    return _export_bytes(result, out)
+
+
+class TestDeterminism:
+    def test_four_workers_match_serial(self, reference_export, tmp_path):
+        result = run_experiment(EXPERIMENT, quick=True, jobs=4, cache=False)
+        assert _export_bytes(result, tmp_path) == reference_export
+
+    def test_cold_then_warm_cache_match_serial(
+        self, reference_export, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+
+        cold = run_experiment(EXPERIMENT, quick=True, cache=cache)
+        assert _export_bytes(cold, tmp_path / "cold") == reference_export
+        assert cache.entry_count() > 0
+
+        warm = run_experiment(EXPERIMENT, quick=True, cache=cache)
+        assert _export_bytes(warm, tmp_path / "warm") == reference_export
+
+    def test_warm_cache_with_different_jobs_matches(
+        self, reference_export, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment(EXPERIMENT, quick=True, jobs=1, cache=cache)
+        warm = run_experiment(EXPERIMENT, quick=True, jobs=4, cache=cache)
+        assert _export_bytes(warm, tmp_path / "out") == reference_export

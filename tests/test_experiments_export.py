@@ -64,6 +64,48 @@ class TestExport:
         written = export_result(bare, tmp_path)
         assert any(p.name == "bare_summary.json" for p in written)
 
+    def test_numpy_scalars_export_as_plain_floats(self, result, tmp_path):
+        result.summary = {
+            "f64": np.float64(1.25),
+            "i32": np.int32(7),
+            "flag": np.bool_(True),
+            "py_bool": False,
+        }
+        result.paper = {}
+        export_result(result, tmp_path)
+        payload = json.loads((tmp_path / "demo_summary.json").read_text())
+        assert payload["summary"] == {
+            "f64": 1.25, "i32": 7.0, "flag": 1.0, "py_bool": 0.0,
+        }
+        assert all(
+            type(v) is float for v in payload["summary"].values()
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "0.5",
+            None,
+            complex(1.0, 0.0),
+            np.array([1.0, 2.0]),
+            {"nested": 1.0},
+        ],
+        ids=["str", "none", "complex", "array", "dict"],
+    )
+    def test_non_scalar_summary_value_is_refused(self, result, tmp_path, bad):
+        from repro.errors import ExperimentError
+
+        result.summary["broken"] = bad
+        with pytest.raises(ExperimentError, match=r"'demo'.*'broken'"):
+            export_result(result, tmp_path)
+
+    def test_refusal_names_the_paper_section_too(self, result, tmp_path):
+        from repro.errors import ExperimentError
+
+        result.paper["claim"] = "about 9%"
+        with pytest.raises(ExperimentError, match=r"paper\['claim'\]"):
+            export_result(result, tmp_path)
+
     def test_cli_integration(self, tmp_path):
         from repro.experiments.registry import main
 

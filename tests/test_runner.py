@@ -1,0 +1,365 @@
+"""Tests for the parallel sweep runner and its content-addressed cache.
+
+The property suites (hypothesis) pin the runner's two contracts:
+
+* parallel execution is an implementation detail — any ``jobs`` value
+  yields the same results in the same order as a serial run;
+* the cache codec is exact — arbitrary payloads (NaN, infinities, empty
+  arrays, non-ASCII keys, NumPy scalars) round-trip unchanged, and the
+  key is invariant to dict ordering but sensitive to any value change.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import RunnerError
+from repro.obs import disable, enable, get_registry, reset, snapshot
+from repro.runner import (
+    MISS,
+    ResultCache,
+    SerializationError,
+    cache_key,
+    canonical_json,
+    decode,
+    decode_experiment_result,
+    encode,
+    encode_experiment_result,
+    resolve_cache,
+    sweep,
+)
+from repro.runner.cache import ENV_CACHE_DIR
+
+
+# --- module-level workers (picklable, required for pool mode) ---------------
+
+
+def _double(x):
+    return 2 * x
+
+
+def _stagger_negate(x):
+    """Finish later items sooner, so pool completion order != item order."""
+    time.sleep(0.002 * (5 - (x % 6)))
+    return -x
+
+
+def _always_fails(x):
+    raise ValueError(f"no result for {x!r}")
+
+
+def _fails_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+def _flaky(task):
+    """Fail on first call per marker file; succeed after."""
+    marker, x = task
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient")
+    return x + 1
+
+
+def _sleep_seconds(s):
+    time.sleep(s)
+    return s
+
+
+# --- hypothesis strategies ---------------------------------------------------
+
+_any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+_np_scalars = st.one_of(
+    st.builds(np.float64, _any_float),
+    st.builds(np.float32, st.floats(width=32, allow_nan=True)),
+    st.builds(np.int64, st.integers(-(2**62), 2**62)),
+    st.builds(np.int32, st.integers(-(2**31), 2**31 - 1)),
+    st.builds(np.bool_, st.booleans()),
+)
+
+_arrays = hnp.arrays(
+    dtype=st.sampled_from([np.float64, np.float32, np.int64, np.bool_]),
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=0, max_side=3),
+    elements=None,
+)
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    _any_float,
+    st.text(max_size=8),  # includes non-ASCII
+    _np_scalars,
+    _arrays,
+)
+
+_tag_keys = {"__tuple__", "__ndarray__", "__npscalar__", "__float__"}
+
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(
+            st.text(max_size=8).filter(lambda k: k not in _tag_keys),
+            children,
+            max_size=3,
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+def _assert_payload_equal(a, b):
+    """Exact structural equality, NaN-tolerant, type-preserving."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        assert type(a) is type(b)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert np.array_equal(a, b, equal_nan=a.dtype.kind == "f")
+        return
+    assert type(a) is type(b), f"{type(a)} != {type(b)}"
+    if isinstance(a, dict):
+        assert list(a) == list(b)  # insertion order is part of the contract
+        for key in a:
+            _assert_payload_equal(a[key], b[key])
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            _assert_payload_equal(left, right)
+    elif isinstance(a, (float, np.floating)) and math.isnan(float(a)):
+        assert math.isnan(float(b))
+    else:
+        assert a == b
+
+
+# --- codec properties --------------------------------------------------------
+
+
+class TestCodec:
+    @given(_payloads)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_is_exact(self, payload):
+        _assert_payload_equal(decode(encode(payload)), payload)
+
+    def test_np_float64_survives_with_type(self):
+        out = decode(encode(np.float64(0.1)))
+        assert type(out) is np.float64 and out == np.float64(0.1)
+
+    def test_empty_array_round_trips(self):
+        out = decode(encode(np.empty((0,), dtype=np.float32)))
+        assert out.shape == (0,) and out.dtype == np.float32
+
+    def test_non_ascii_keys_round_trip(self):
+        payload = {"日本語": [1.0, float("nan")], "κλειδί": ("a", None)}
+        _assert_payload_equal(decode(encode(payload)), payload)
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(SerializationError):
+            canonical_json({1: "x"})
+
+    def test_rejects_object_arrays(self):
+        with pytest.raises(SerializationError):
+            encode(np.array([object()]))
+
+
+class TestCacheKey:
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.integers(-1000, 1000),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_key_invariant_to_dict_ordering(self, spec):
+        reordered = dict(reversed(list(spec.items())))
+        assert cache_key(spec) == cache_key(reordered)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.integers(-1000, 1000),
+            min_size=1,
+            max_size=6,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_key_sensitive_to_any_value_change(self, spec, data):
+        victim = data.draw(st.sampled_from(sorted(spec)))
+        changed = dict(spec)
+        changed[victim] = spec[victim] + 1
+        assert cache_key(spec) != cache_key(changed)
+
+    def test_key_sensitive_to_salt(self):
+        assert cache_key({"a": 1}, salt="s1") != cache_key({"a": 1}, salt="s2")
+
+
+# --- cache behaviour ---------------------------------------------------------
+
+
+class TestResultCache:
+    @given(_payloads)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trips_arbitrary_payloads(self, payload):
+        # No tmp_path here: function-scoped fixtures trip hypothesis's
+        # health check, and distinct specs keep examples independent.
+        with tempfile.TemporaryDirectory() as directory:
+            cache = ResultCache(directory)
+            spec = {"payload": payload}
+            cache.put(spec, payload)
+            _assert_payload_equal(cache.get(spec), payload)
+
+    def test_absent_entry_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get({"never": "stored"}) is MISS
+
+    def test_corrupt_entry_is_miss_not_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put({"x": 1}, [1, 2, 3])
+        path.write_text("{not json")
+        assert cache.get({"x": 1}) is MISS
+
+    def test_entry_count_and_contains(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.entry_count() == 0 and {"a": 1} not in cache
+        cache.put({"a": 1}, "payload")
+        assert cache.entry_count() == 1 and {"a": 1} in cache
+
+    def test_resolve_cache_forms(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(str(tmp_path)).directory == tmp_path
+        cache = ResultCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "env"))
+        assert resolve_cache(True).directory == tmp_path / "env"
+        assert resolve_cache(None).directory == tmp_path / "env"
+        assert resolve_cache(False) is None
+
+    def test_counters_reported(self, tmp_path):
+        enable()
+        reset()
+        try:
+            cache = ResultCache(tmp_path)
+            cache.get({"k": 1})  # miss
+            cache.put({"k": 1}, 42)  # store
+            cache.get({"k": 1})  # hit
+            counters = snapshot().counters
+        finally:
+            disable()
+        assert counters["runner.cache.miss"] == 1
+        assert counters["runner.cache.store"] == 1
+        assert counters["runner.cache.hit"] == 1
+
+
+# --- sweep: serial/parallel equivalence --------------------------------------
+
+
+class TestSweep:
+    @given(st.lists(st.integers(-100, 100), max_size=12))
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_matches_serial_in_order(self, xs):
+        serial = sweep(_double, xs, jobs=1)
+        parallel = sweep(_double, xs, jobs=3)
+        assert serial == parallel == [2 * x for x in xs]
+
+    def test_order_preserved_under_staggered_completion(self):
+        xs = list(range(12))
+        assert sweep(_stagger_negate, xs, jobs=4) == [-x for x in xs]
+
+    def test_unpicklable_func_falls_back_to_serial(self):
+        offset = 10
+        assert sweep(lambda x: x + offset, [1, 2, 3], jobs=4) == [11, 12, 13]
+
+    def test_invalid_jobs_and_retries_rejected(self):
+        with pytest.raises(RunnerError):
+            sweep(_double, [1], jobs=0)
+        with pytest.raises(RunnerError):
+            sweep(_double, [1], retries=-1)
+
+    def test_failure_raises_runner_error_naming_index(self):
+        with pytest.raises(RunnerError, match="task 1"):
+            sweep(_fails_on_odd, [0, 1, 2], jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retry_recovers_transient_failure(self, jobs, tmp_path):
+        tasks = [(str(tmp_path / f"marker_{i}"), i) for i in range(3)]
+        assert sweep(_flaky, tasks, jobs=jobs, retries=1) == [1, 2, 3]
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        with pytest.raises(RunnerError, match="2 attempt"):
+            sweep(_always_fails, [7, 8], jobs=1, retries=1)
+
+    def test_timeout_raises_runner_error(self):
+        start = time.monotonic()
+        with pytest.raises(RunnerError, match="timed out"):
+            sweep(_sleep_seconds, [0.0, 2.0], jobs=2, timeout_s=0.2)
+        assert time.monotonic() - start < 1.5
+
+    def test_empty_items(self):
+        assert sweep(_double, [], jobs=4) == []
+
+    def test_cache_skips_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = sweep(_double, [1, 2, 3], cache=cache)
+        assert cache.entry_count() == 3
+        # A poisoned entry proves the second sweep reads, not recomputes.
+        cache.put(
+            {"kind": "sweep-task", "func": f"{__name__}._double", "item": 2},
+            999,
+        )
+        assert first == [2, 4, 6]
+        assert sweep(_double, [1, 2, 3], cache=cache) == [2, 999, 6]
+
+    def test_cache_unaddressable_item_needs_key_fn(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(RunnerError, match="key_fn"):
+            sweep(_double, [object()], cache=cache)
+
+    def test_scheduling_counters(self):
+        enable()
+        reset()
+        try:
+            sweep(_double, [1, 2, 3, 4], jobs=2)
+            counters = snapshot().counters
+        finally:
+            disable()
+        assert counters["runner.sweeps"] == 1
+        assert counters["runner.tasks"] == 4
+        assert counters["runner.parallel_tasks"] == 4
+
+
+# --- ExperimentResult codec --------------------------------------------------
+
+
+class TestExperimentResultCodec:
+    def test_round_trip(self):
+        from repro.experiments.registry import ExperimentResult
+
+        result = ExperimentResult(experiment_id="demo", title="Demo")
+        result.series = {"t": np.array([0.0, 1.5]), "empty": np.array([])}
+        result.summary = {"metric": np.float64(0.25)}
+        result.paper = {"metric": 0.3}
+        result.tables = {"t": (["a", "b"], [["x", "y"]])}
+
+        back = decode_experiment_result(encode_experiment_result(result))
+        assert back.experiment_id == "demo" and back.title == "Demo"
+        _assert_payload_equal(back.series["t"], result.series["t"])
+        assert back.series["empty"].shape == (0,)
+        assert type(back.summary["metric"]) is np.float64
+        assert back.tables == result.tables
+        assert back.perf == {}  # perf is per-run, deliberately not cached

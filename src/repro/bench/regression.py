@@ -165,6 +165,83 @@ def _fig7_sweep(quick: bool, jobs: int) -> Callable[[], object]:
     return lambda: run(quick=quick, jobs=jobs)
 
 
+def _solver_rhs(quick: bool, jobs: int) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.server.chassis import constant_utilization
+    from repro.server.configs import one_u_commodity
+    from repro.thermal.solver import _CompiledNetwork, stable_step_s
+
+    network = one_u_commodity().chassis.build_network(
+        constant_utilization(0.8), with_wax=True
+    )
+    compiled = _CompiledNetwork(network)
+    base = network.initial_state()
+    dt = stable_step_s(network)
+    n_steps = 40 if quick else 200
+    # The four substage (time offset, state) pairs of one RK4 step; the
+    # perturbed states stand in for the integrator's intermediate stages
+    # so both paths see the solver's real call pattern.
+    rng = np.random.default_rng(7)
+    stages = [
+        (0.0, base),
+        (0.5, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+        (0.5, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+        (1.0, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+    ]
+
+    n_chunks = 5
+    chunk_steps = max(1, n_steps // n_chunks)
+
+    def timed_chunk(evaluate, chunk: int) -> float:
+        start = time.perf_counter()
+        for step in range(chunk * chunk_steps, (chunk + 1) * chunk_steps):
+            t0 = step * dt
+            for offset, state in stages:
+                evaluate(state, t0 + offset * dt)
+        return time.perf_counter() - start
+
+    def run() -> dict[str, float]:
+        # Interleave the two paths chunk by chunk and score each on its
+        # best chunk, so a scheduler hiccup hitting one path does not
+        # masquerade as a kernel speedup (or regression).
+        reference_chunks: list[float] = []
+        vectorized_chunks: list[float] = []
+        for chunk in range(n_chunks):
+            reference_chunks.append(
+                timed_chunk(network.state_derivative, chunk)
+            )
+            vectorized_chunks.append(timed_chunk(compiled.rhs, chunk))
+        reference_s = min(reference_chunks)
+        vectorized_s = min(vectorized_chunks)
+        evals = 4 * chunk_steps
+        speedup = (
+            reference_s / vectorized_s if vectorized_s > 0 else float("inf")
+        )
+        obs = get_registry()
+        if obs.enabled:
+            obs.count("solver.bench.reference_evals", evals * n_chunks)
+            obs.count("solver.bench.vectorized_evals", evals * n_chunks)
+            obs.count("solver.bench.speedup_ge_3x", int(speedup >= 3.0))
+        return {
+            "reference_us_per_eval": reference_s / evals * 1e6,
+            "vectorized_us_per_eval": vectorized_s / evals * 1e6,
+            "speedup": speedup,
+        }
+
+    return run
+
+
+def _fig7_batched(quick: bool, jobs: int) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.experiments.fig7_blockage import blockage_sweep
+
+    step = 0.15 if quick else 0.05
+    fractions = np.arange(0.0, 0.90 + 1e-9, step)
+    return lambda: blockage_sweep("1u", fractions)
+
+
 #: The tier-2 suite, in execution order.
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
@@ -195,10 +272,24 @@ SCENARIOS: tuple[Scenario, ...] = (
     ),
     Scenario(
         "fig7_sweep",
-        "the full Fig 7 blockage grid (57 steady-state solves); honors "
-        "--jobs, so it measures the parallel speedup of the sweep runner",
+        "the full Fig 7 blockage grid (three 19-point batched steady "
+        "solves); honors --jobs, so it measures the parallel speedup of "
+        "the sweep runner over the platform batches",
         _fig7_sweep,
         repeats=2,
+    ),
+    Scenario(
+        "solver_rhs",
+        "800 RK4-pattern derivative evaluations of the chassis network, "
+        "dict reference then vectorized kernel; the speedup lands in the "
+        "solver.bench.speedup_ge_3x counter",
+        _solver_rhs,
+    ),
+    Scenario(
+        "fig7_batched",
+        "one 19-point grille-blockage grid solved as a single batched "
+        "steady-state call (the Fig 7 inner kernel)",
+        _fig7_batched,
     ),
 )
 

@@ -23,8 +23,11 @@ import numpy as np
 
 from repro.dcsim.cluster import ClusterTopology
 from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+from repro.dcsim.thermal_coupling import BatchedClusterThermalState
 from repro.errors import ConfigurationError
 from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.materials.pcm import PCMMaterial
+from repro.obs import get_registry
 from repro.runner.pool import sweep
 from repro.server.characterization import PlatformCharacterization
 from repro.server.power import ServerPowerModel
@@ -52,6 +55,57 @@ def _candidate_peak(task: tuple) -> float:
         .run()
         .peak_cooling_load_w
     )
+
+
+def batched_fluid_peaks(
+    characterization: PlatformCharacterization,
+    power_model: ServerPowerModel,
+    materials: list[PCMMaterial],
+    wax_enabled: np.ndarray,
+    trace: LoadTrace,
+    topology: ClusterTopology,
+    config: SimulationConfig,
+) -> np.ndarray:
+    """Peak cooling load per candidate from one batched fluid-mode run.
+
+    Replays the unconstrained fluid tick loop of
+    :meth:`DatacenterSimulator._run_fluid` (no policy, no room) with all
+    candidates stacked into one :class:`BatchedClusterThermalState`, so
+    the whole melting-point grid advances in a single array loop. Each
+    member's trajectory — and therefore its peak — is bit-identical to a
+    serial simulation of that candidate.
+    """
+    n_candidates = len(materials)
+    n_servers = topology.server_count
+    dt = config.tick_interval_s
+    n_ticks = int(np.floor(trace.duration_s / dt))
+    ticks = (np.arange(n_ticks) + 1) * dt
+    state = BatchedClusterThermalState(
+        characterization=characterization,
+        power_model=power_model,
+        material=materials,
+        cluster_count=n_candidates,
+        server_count=n_servers,
+        inlet_temperature_c=config.inlet_temperature_c,
+        initial_utilization=float(np.clip(trace.value_at(0.0), 0.0, 1.0)),
+        wax_enabled=wax_enabled,
+    )
+    nominal = power_model.nominal_frequency_ghz
+    tf = power_model.throughput_factor(nominal)
+    peaks = np.full(n_candidates, -np.inf)
+    utilization = np.empty((n_candidates, n_servers))
+    for t in ticks:
+        demand = float(np.clip(trace.value_at(t - 0.5 * dt), 0.0, 1.0))
+        utilization[:] = np.minimum(demand / tf, 1.0)
+        _power, release, _wax = state.step(dt, utilization, nominal)
+        np.maximum(peaks, np.sum(release, axis=1), out=peaks)
+    obs = get_registry()
+    if obs.enabled:
+        obs.count("dcsim.batched_runs")
+        obs.count("dcsim.batched_members", n_candidates)
+        obs.count("dcsim.ticks", n_ticks)
+        obs.count("dcsim.server_ticks", n_ticks * n_candidates * n_servers)
+    return peaks
 
 
 @dataclass(frozen=True)
@@ -98,10 +152,9 @@ def optimize_melting_point(
         Simulation configuration; defaults to fluid mode (the search runs
         dozens of two-day simulations).
     jobs:
-        Worker processes for the candidate grid. Every candidate (and
-        the wax-disabled baseline) is an independent two-day simulation,
-        so they fan out over :func:`repro.runner.pool.sweep`; results
-        come back in grid order, so the winning candidate is identical
+        Worker processes for the candidate grid in event mode. Fluid
+        mode ignores it: the whole grid (and the wax-disabled baseline)
+        advances as one :func:`batched_fluid_peaks` run, bit-identical
         to a serial search.
     """
     low, high = window_c
@@ -123,16 +176,36 @@ def optimize_melting_point(
         seed=config.seed,
     )
     candidates = np.arange(low, high + 0.5 * step_c, step_c)
-    tasks = [
-        (characterization, power_model, trace, topology, baseline_config, low)
-    ]
-    tasks.extend(
-        (characterization, power_model, trace, topology, config, float(melt_c))
-        for melt_c in candidates
-    )
-    all_peaks = sweep(
-        _candidate_peak, tasks, jobs=jobs, label="runner.melting_point"
-    )
+    if config.mode == "fluid":
+        # The unconstrained fluid loop vectorizes: one batched run covers
+        # the wax-disabled baseline (member 0) plus every candidate.
+        materials = [commercial_paraffin_with_melting_point(float(low))]
+        materials.extend(
+            commercial_paraffin_with_melting_point(float(melt_c))
+            for melt_c in candidates
+        )
+        wax_enabled = np.ones(len(materials), dtype=bool)
+        wax_enabled[0] = False
+        all_peaks = batched_fluid_peaks(
+            characterization,
+            power_model,
+            materials,
+            wax_enabled,
+            trace,
+            topology,
+            config,
+        )
+    else:
+        tasks = [
+            (characterization, power_model, trace, topology, baseline_config, low)
+        ]
+        tasks.extend(
+            (characterization, power_model, trace, topology, config, float(melt_c))
+            for melt_c in candidates
+        )
+        all_peaks = sweep(
+            _candidate_peak, tasks, jobs=jobs, label="runner.melting_point"
+        )
     baseline_peak = float(all_peaks[0])
     peaks = np.asarray(all_peaks[1:], dtype=float)
 

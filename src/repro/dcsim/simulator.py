@@ -85,6 +85,7 @@ class SimulationResult:
     room_temperature_c: np.ndarray | None = None
     completed_work_s: np.ndarray | None = None
     server_count: int = 0
+    nominal_frequency_ghz: float | None = None
 
     @property
     def times_hours(self) -> np.ndarray:
@@ -111,7 +112,16 @@ class SimulationResult:
         return float(np.trapezoid(self.power_w, self.times_s)) / 3.6e6
 
     def throttled_mask(self) -> np.ndarray:
-        """Ticks at which the cluster ran below nominal frequency."""
+        """Ticks at which the cluster ran below nominal frequency.
+
+        Compared against the platform's nominal frequency, not the run's
+        maximum: a run throttled at every tick must report every tick,
+        which a run-relative comparison would miss entirely. Results from
+        older recordings without a stored nominal fall back to the
+        run-maximum heuristic.
+        """
+        if self.nominal_frequency_ghz is not None:
+            return self.frequency_ghz < self.nominal_frequency_ghz - 1e-9
         return self.frequency_ghz < np.max(self.frequency_ghz) - 1e-9
 
 
@@ -243,7 +253,7 @@ class DatacenterSimulator:
                 room=room_temp,
             )
         get_registry().count("dcsim.throttle_ticks", throttle_ticks)
-        return records.result(n_servers)
+        return records.result(n_servers, self.power_model.nominal_frequency_ghz)
 
     # -- event mode -----------------------------------------------------------
 
@@ -391,7 +401,7 @@ class DatacenterSimulator:
             obs.count("dcsim.events", events_processed)
             obs.count("dcsim.throttle_ticks", throttle_ticks)
             obs.record_max("dcsim.queue_high_water", queue_high_water)
-        return records.result(n_servers)
+        return records.result(n_servers, nominal)
 
 
 class _Recorder:
@@ -447,7 +457,9 @@ class _Recorder:
         self.shed[i] = shed
         self.room[i] = room
 
-    def result(self, server_count: int) -> SimulationResult:
+    def result(
+        self, server_count: int, nominal_frequency_ghz: float | None = None
+    ) -> SimulationResult:
         return SimulationResult(
             times_s=self.times,
             demand=self.demand,
@@ -463,4 +475,5 @@ class _Recorder:
             room_temperature_c=self.room,
             completed_work_s=self._completed,
             server_count=server_count,
+            nominal_frequency_ghz=nominal_frequency_ghz,
         )

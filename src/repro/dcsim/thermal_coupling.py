@@ -71,8 +71,236 @@ def enthalpy_at_temperature_array(
     )
 
 
+class BatchedClusterThermalState:
+    """Stacked ``(clusters, servers)`` thermal state for many clusters.
+
+    All clusters share one characterization and power model — the stacked
+    form of the fig10/11/12 sweeps, where the same platform runs under
+    many scenarios at once. Per-cluster knobs (inlet temperature, wax
+    material, wax enablement, initial utilization, DVFS frequency) vary
+    along the leading axis; passing a list of materials batches a
+    melting-point sweep. Every update is elementwise across that axis in
+    the exact operation order of a lone cluster, so each member's
+    trajectory is bit-identical to stepping it alone.
+    """
+
+    def __init__(
+        self,
+        characterization: PlatformCharacterization,
+        power_model: ServerPowerModel,
+        material: PCMMaterial | list[PCMMaterial],
+        cluster_count: int,
+        server_count: int,
+        inlet_temperature_c: float | np.ndarray = 25.0,
+        initial_utilization: float | np.ndarray = 0.0,
+        wax_enabled: bool | np.ndarray = True,
+        inlet_offset_c: np.ndarray | None = None,
+    ) -> None:
+        if cluster_count <= 0:
+            raise ConfigurationError(
+                f"cluster count must be positive, got {cluster_count}"
+            )
+        if server_count <= 0:
+            raise ConfigurationError(
+                f"server count must be positive, got {server_count}"
+            )
+        self.characterization = characterization
+        self.power_model = power_model
+        if isinstance(material, PCMMaterial):
+            materials = [material] * cluster_count
+        else:
+            materials = list(material)
+            if len(materials) != cluster_count:
+                raise ConfigurationError(
+                    f"expected {cluster_count} materials, got {len(materials)}"
+                )
+        self.materials = materials
+        self.material = materials[0]
+        # Material parameters as (clusters, 1) columns so the enthalpy
+        # maps broadcast per cluster across the server axis.
+        self._solidus = np.array([[m.solidus_c] for m in materials])
+        self._liquidus = np.array([[m.liquidus_c] for m in materials])
+        self._fusion = np.array([[m.heat_of_fusion_j_per_kg] for m in materials])
+        self._c_solid = np.array(
+            [[m.specific_heat_solid_j_per_kg_k] for m in materials]
+        )
+        self._c_liquid = np.array(
+            [[m.specific_heat_liquid_j_per_kg_k] for m in materials]
+        )
+        self._melt_range = np.array([[m.melting_range_c] for m in materials])
+        self.cluster_count = cluster_count
+        self.server_count = server_count
+        self.wax_mass_kg = characterization.wax_mass_kg
+        self.inlet_temperature_c = np.broadcast_to(
+            np.asarray(inlet_temperature_c, dtype=float), (cluster_count,)
+        ).copy()
+        self.wax_enabled = np.broadcast_to(
+            np.asarray(wax_enabled, dtype=bool), (cluster_count,)
+        ).copy()
+
+        if inlet_offset_c is None:
+            self.inlet_offset_c = np.zeros((cluster_count, server_count))
+        else:
+            offsets = np.asarray(inlet_offset_c, dtype=float)
+            if offsets.shape == (server_count,):
+                offsets = np.broadcast_to(
+                    offsets, (cluster_count, server_count)
+                ).copy()
+            if offsets.shape != (cluster_count, server_count):
+                raise ConfigurationError(
+                    f"expected inlet offsets shape "
+                    f"({cluster_count}, {server_count}), got {offsets.shape}"
+                )
+            self.inlet_offset_c = offsets
+
+        initial_delta = characterization.zone_delta_at(
+            np.broadcast_to(
+                np.asarray(initial_utilization, dtype=float), (cluster_count,)
+            )
+        )
+        self.zone_temperature_c = (
+            self.inlet_temperature_c[:, None]
+            + self.inlet_offset_c
+            + initial_delta[:, None]
+        )
+        self.specific_enthalpy_j_per_kg = self._enthalpy_at_temperature(
+            self.zone_temperature_c
+        )
+
+    # -- per-cluster enthalpy maps (same branches as ``PCMMaterial``) -------
+
+    def _temperature_at_enthalpy(self, h: np.ndarray) -> np.ndarray:
+        solid = self._solidus + h / self._c_solid
+        mushy = self._solidus + (h / self._fusion) * self._melt_range
+        liquid = self._liquidus + (h - self._fusion) / self._c_liquid
+        return np.where(h <= 0, solid, np.where(h >= self._fusion, liquid, mushy))
+
+    def _enthalpy_at_temperature(self, t: np.ndarray) -> np.ndarray:
+        solid = (t - self._solidus) * self._c_solid
+        mushy = (t - self._solidus) / self._melt_range * self._fusion
+        liquid = self._fusion + (t - self._liquidus) * self._c_liquid
+        return np.where(
+            t <= self._solidus,
+            solid,
+            np.where(t >= self._liquidus, liquid, mushy),
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def wax_temperature_c(self) -> np.ndarray:
+        """Per-server wax temperature, shape ``(clusters, servers)``."""
+        return self._temperature_at_enthalpy(self.specific_enthalpy_j_per_kg)
+
+    @property
+    def melt_fraction(self) -> np.ndarray:
+        """Per-server wax melt fraction, shape ``(clusters, servers)``."""
+        return np.clip(self.specific_enthalpy_j_per_kg / self._fusion, 0.0, 1.0)
+
+    @property
+    def stored_latent_heat_j(self) -> np.ndarray:
+        """Per-cluster total latent heat currently banked in the wax."""
+        return (
+            np.sum(self.melt_fraction, axis=1)
+            * self.wax_mass_kg
+            * self._fusion[:, 0]
+        )
+
+    def _frequency_factors(self, frequency_ghz: float | np.ndarray) -> np.ndarray:
+        """Per-cluster DVFS power factors via the scalar power model."""
+        frequencies = np.broadcast_to(
+            np.asarray(frequency_ghz, dtype=float), (self.cluster_count,)
+        )
+        return np.array(
+            [
+                self.power_model.frequency_factor(float(frequency))
+                for frequency in frequencies
+            ]
+        )
+
+    def effective_utilization(
+        self, utilization: np.ndarray, frequency_ghz: float | np.ndarray
+    ) -> np.ndarray:
+        """Power-equivalent utilization (folds in DVFS)."""
+        factors = self._frequency_factors(frequency_ghz)
+        return np.asarray(utilization) * factors[:, None]
+
+    def power_w(
+        self, utilization: np.ndarray, frequency_ghz: float | np.ndarray
+    ) -> np.ndarray:
+        """Per-server wall power at an operating point."""
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        return self.power_model.idle_power_w + (
+            self.power_model.dynamic_range_w * u_eff
+        )
+
+    def wax_exchange_w(
+        self, utilization: np.ndarray, frequency_ghz: float | np.ndarray
+    ) -> np.ndarray:
+        """Instantaneous air-to-wax heat flow at the *current* state,
+        without advancing it (used by throttling policies to preview what
+        the wax could absorb this tick)."""
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        ua = self.characterization.ua_at(u_eff)
+        exchange = ua * (self.zone_temperature_c - self.wax_temperature_c)
+        return np.where(self.wax_enabled[:, None], exchange, 0.0)
+
+    # -- dynamics ------------------------------------------------------------
+
+    def step(
+        self,
+        dt_s: float,
+        utilization: np.ndarray,
+        frequency_ghz: float | np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance one tick; returns (power_w, heat_release_w, wax_heat_w).
+
+        ``utilization`` is per-server busy fraction in [0, 1] with shape
+        ``(clusters, servers)``; ``frequency_ghz`` is each cluster's DVFS
+        state this tick (scalar broadcasts to every cluster).
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"tick must be positive, got {dt_s}")
+        utilization = np.asarray(utilization, dtype=float)
+        if utilization.shape != (self.cluster_count, self.server_count):
+            raise ConfigurationError(
+                f"expected utilization shape "
+                f"({self.cluster_count}, {self.server_count}), got "
+                f"{utilization.shape}"
+            )
+        if np.any(utilization < -1e-9) or np.any(utilization > 1.0 + 1e-9):
+            raise ConfigurationError("utilization must lie in [0, 1]")
+
+        u_eff = self.effective_utilization(utilization, frequency_ghz)
+        power = self.power_model.idle_power_w + (
+            self.power_model.dynamic_range_w * u_eff
+        )
+
+        target = (
+            self.inlet_temperature_c[:, None]
+            + self.inlet_offset_c
+            + self.characterization.zone_delta_at(u_eff)
+        )
+        blend = 1.0 - np.exp(-dt_s / self.characterization.zone_time_constant_s)
+        self.zone_temperature_c += blend * (target - self.zone_temperature_c)
+
+        ua = self.characterization.ua_at(u_eff)
+        exchange = ua * (self.zone_temperature_c - self.wax_temperature_c)
+        wax_heat = np.where(self.wax_enabled[:, None], exchange, 0.0)
+        self.specific_enthalpy_j_per_kg += np.where(
+            self.wax_enabled[:, None], wax_heat * dt_s / self.wax_mass_kg, 0.0
+        )
+
+        return power, power - wax_heat, wax_heat
+
+
 class ClusterThermalState:
-    """Mutable thermal state of every server in one cluster."""
+    """Mutable thermal state of every server in one cluster.
+
+    A single-cluster view over :class:`BatchedClusterThermalState`: the
+    arrays exposed here are row views into the batched ``(1, servers)``
+    state, so the dynamics live in exactly one place.
+    """
 
     def __init__(
         self,
@@ -85,59 +313,69 @@ class ClusterThermalState:
         wax_enabled: bool = True,
         inlet_offset_c: np.ndarray | None = None,
     ) -> None:
-        if server_count <= 0:
-            raise ConfigurationError(
-                f"server count must be positive, got {server_count}"
-            )
-        self.characterization = characterization
-        self.power_model = power_model
-        self.material = material
-        self.server_count = server_count
-        self.inlet_temperature_c = inlet_temperature_c
-        self.wax_enabled = wax_enabled
-        self.wax_mass_kg = characterization.wax_mass_kg
-
-        if inlet_offset_c is None:
-            self.inlet_offset_c = np.zeros(server_count)
-        else:
+        if inlet_offset_c is not None:
             offsets = np.asarray(inlet_offset_c, dtype=float)
             if offsets.shape != (server_count,):
                 raise ConfigurationError(
                     f"expected inlet offsets shape ({server_count},), got "
                     f"{offsets.shape}"
                 )
-            self.inlet_offset_c = offsets
+        self._batched = BatchedClusterThermalState(
+            characterization=characterization,
+            power_model=power_model,
+            material=material,
+            cluster_count=1,
+            server_count=server_count,
+            inlet_temperature_c=inlet_temperature_c,
+            initial_utilization=initial_utilization,
+            wax_enabled=wax_enabled,
+            inlet_offset_c=inlet_offset_c,
+        )
+        self.characterization = characterization
+        self.power_model = power_model
+        self.material = material
+        self.server_count = server_count
+        self.wax_enabled = wax_enabled
+        self.wax_mass_kg = characterization.wax_mass_kg
+        self.inlet_offset_c = self._batched.inlet_offset_c[0]
 
-        initial_delta = float(characterization.zone_delta_at(initial_utilization))
-        self.zone_temperature_c = (
-            inlet_temperature_c + self.inlet_offset_c + initial_delta
-        )
-        self.specific_enthalpy_j_per_kg = enthalpy_at_temperature_array(
-            material, self.zone_temperature_c
-        )
+    # -- single-cluster views over the batched state -----------------------
+
+    @property
+    def inlet_temperature_c(self) -> float:
+        """Cold-aisle inlet temperature shared by this cluster's servers."""
+        return float(self._batched.inlet_temperature_c[0])
+
+    @inlet_temperature_c.setter
+    def inlet_temperature_c(self, value: float) -> None:
+        self._batched.inlet_temperature_c[0] = value
+
+    @property
+    def zone_temperature_c(self) -> np.ndarray:
+        """Per-server wax-zone air temperature (view, shape ``(servers,)``)."""
+        return self._batched.zone_temperature_c[0]
+
+    @property
+    def specific_enthalpy_j_per_kg(self) -> np.ndarray:
+        """Per-server wax specific enthalpy (view, shape ``(servers,)``)."""
+        return self._batched.specific_enthalpy_j_per_kg[0]
 
     # -- queries -----------------------------------------------------------
 
     @property
     def wax_temperature_c(self) -> np.ndarray:
         """Per-server wax temperature."""
-        return temperature_at_enthalpy_array(
-            self.material, self.specific_enthalpy_j_per_kg
-        )
+        return self._batched.wax_temperature_c[0]
 
     @property
     def melt_fraction(self) -> np.ndarray:
         """Per-server wax melt fraction."""
-        return melt_fraction_array(self.material, self.specific_enthalpy_j_per_kg)
+        return self._batched.melt_fraction[0]
 
     @property
     def stored_latent_heat_j(self) -> float:
         """Cluster-total latent heat currently banked in the wax."""
-        return float(
-            np.sum(self.melt_fraction)
-            * self.wax_mass_kg
-            * self.material.heat_of_fusion_j_per_kg
-        )
+        return float(self._batched.stored_latent_heat_j[0])
 
     def effective_utilization(
         self, utilization: np.ndarray, frequency_ghz: float
@@ -161,9 +399,9 @@ class ClusterThermalState:
         the wax could absorb this tick)."""
         if not self.wax_enabled:
             return np.zeros(self.server_count)
-        u_eff = self.effective_utilization(utilization, frequency_ghz)
-        ua = self.characterization.ua_at(u_eff)
-        return ua * (self.zone_temperature_c - self.wax_temperature_c)
+        return self._batched.wax_exchange_w(
+            np.asarray(utilization, dtype=float)[None, :], frequency_ghz
+        )[0]
 
     # -- dynamics ------------------------------------------------------------
 
@@ -178,35 +416,13 @@ class ClusterThermalState:
         ``utilization`` is per-server busy fraction in [0, 1];
         ``frequency_ghz`` is the cluster-wide DVFS state this tick.
         """
-        if dt_s <= 0:
-            raise ConfigurationError(f"tick must be positive, got {dt_s}")
         utilization = np.asarray(utilization, dtype=float)
         if utilization.shape != (self.server_count,):
             raise ConfigurationError(
                 f"expected utilization shape ({self.server_count},), got "
                 f"{utilization.shape}"
             )
-        if np.any(utilization < -1e-9) or np.any(utilization > 1.0 + 1e-9):
-            raise ConfigurationError("utilization must lie in [0, 1]")
-
-        u_eff = self.effective_utilization(utilization, frequency_ghz)
-        power = self.power_model.idle_power_w + (
-            self.power_model.dynamic_range_w * u_eff
+        power, release, wax_heat = self._batched.step(
+            dt_s, utilization[None, :], frequency_ghz
         )
-
-        target = (
-            self.inlet_temperature_c
-            + self.inlet_offset_c
-            + self.characterization.zone_delta_at(u_eff)
-        )
-        blend = 1.0 - np.exp(-dt_s / self.characterization.zone_time_constant_s)
-        self.zone_temperature_c += blend * (target - self.zone_temperature_c)
-
-        if self.wax_enabled:
-            ua = self.characterization.ua_at(u_eff)
-            wax_heat = ua * (self.zone_temperature_c - self.wax_temperature_c)
-            self.specific_enthalpy_j_per_kg += wax_heat * dt_s / self.wax_mass_kg
-        else:
-            wax_heat = np.zeros(self.server_count)
-
-        return power, power - wax_heat, wax_heat
+        return power[0], release[0], wax_heat[0]

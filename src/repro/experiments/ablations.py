@@ -25,7 +25,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.melting_point import optimize_melting_point
+from repro.core.melting_point import batched_fluid_peaks, optimize_melting_point
 from repro.core.scenarios import ThroughputStudy, cached_characterization
 from repro.dcsim.cluster import ClusterTopology
 from repro.dcsim.loadbalancer import LeastLoaded, RoundRobin
@@ -51,24 +51,6 @@ def _base_inputs():
     topology = ClusterTopology(server_count=_TOPOLOGY_SERVERS)
     material = commercial_paraffin_with_melting_point(_BASE_MELT_C)
     return spec, characterization, trace, topology, material
-
-
-def _peak_reduction(characterization, power_model, material, trace, topology) -> float:
-    def simulate(wax: bool) -> float:
-        return (
-            DatacenterSimulator(
-                characterization,
-                power_model,
-                material,
-                trace,
-                topology=topology,
-                config=SimulationConfig(mode="fluid", wax_enabled=wax),
-            )
-            .run()
-            .peak_cooling_load_w
-        )
-
-    return 1.0 - simulate(True) / simulate(False)
 
 
 def _volume_point(scale: float) -> tuple[float, float]:
@@ -100,21 +82,6 @@ def _volume_point(scale: float) -> tuple[float, float]:
         step_c=1.0,
     )
     return search.best_melting_point_c, search.best_reduction_fraction
-
-
-def _fusion_point(heat_of_fusion_j_per_kg: float | None) -> float:
-    """Peak reduction with the base material at one heat of fusion
-    (``None`` keeps the commercial blend untouched)."""
-    spec, characterization, trace, topology, material = _base_inputs()
-    if heat_of_fusion_j_per_kg is not None:
-        material = dataclasses.replace(
-            material,
-            name="eicosane-grade blend",
-            heat_of_fusion_j_per_kg=heat_of_fusion_j_per_kg,
-        )
-    return _peak_reduction(
-        characterization, spec.power_model, material, trace, topology
-    )
 
 
 def _lb_point(task: tuple[str, int]) -> tuple[float, float]:
@@ -254,12 +221,24 @@ def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     result.summary["best_reduction"] = search.best_reduction_fraction
 
     # -- heat of fusion ----------------------------------------------------
-    commercial_reduction, premium_reduction = sweep(
-        _fusion_point,
-        [None, 247_000.0],
-        jobs=jobs,
-        label="runner.ablation_fusion",
+    # One batched fluid run: the shared wax-off baseline plus both blends.
+    commercial = commercial_paraffin_with_melting_point(_BASE_MELT_C)
+    premium = dataclasses.replace(
+        commercial,
+        name="eicosane-grade blend",
+        heat_of_fusion_j_per_kg=247_000.0,
     )
+    fusion_peaks = batched_fluid_peaks(
+        characterization,
+        spec.power_model,
+        [commercial, commercial, premium],
+        np.array([False, True, True]),
+        trace,
+        topology,
+        SimulationConfig(mode="fluid"),
+    )
+    commercial_reduction = 1.0 - fusion_peaks[1] / fusion_peaks[0]
+    premium_reduction = 1.0 - fusion_peaks[2] / fusion_peaks[0]
     result.tables["heat of fusion"] = (
         ["material", "heat of fusion", "peak reduction"],
         [

@@ -22,49 +22,56 @@ from repro.experiments.registry import ExperimentResult
 from repro.runner.pool import sweep
 from repro.server.chassis import constant_utilization
 from repro.server.configs import PLATFORM_BUILDERS
-from repro.thermal.steady_state import solve_steady_state
+from repro.thermal.steady_state import solve_steady_state_batch
 
 
-def _solve_point(task: tuple[str, float]) -> tuple[float, float]:
-    """Steady (outlet, hottest CPU) temperatures at one grille setting.
+def _solve_platform(
+    task: tuple[str, tuple[float, ...]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Steady (outlet, hottest CPU) curves for one platform's grille sweep.
 
-    Sweep worker: every ``(platform, fraction)`` point is an
-    independent steady-state solve, so the whole grid fans out.
+    Sweep worker: each platform's fraction grid is one batched
+    steady-state solve (bit-identical to point-by-point solves), and the
+    three platforms fan out across the pool.
     """
-    platform, fraction = task
+    platform, fractions = task
     spec = PLATFORM_BUILDERS[platform]()
-    chassis = spec.chassis.with_grille_blockage(float(fraction))
-    network = chassis.build_network(constant_utilization(1.0))
-    steady = solve_steady_state(network)
-    cpu = max(
-        value
-        for name, value in steady.temperatures_c.items()
-        if name.startswith("cpu")
-    )
-    return steady.outlet_temperature_c(), cpu
+    networks = [
+        spec.chassis.with_grille_blockage(float(fraction)).build_network(
+            constant_utilization(1.0)
+        )
+        for fraction in fractions
+    ]
+    outlet: list[float] = []
+    cpu: list[float] = []
+    for steady in solve_steady_state_batch(networks):
+        outlet.append(steady.outlet_temperature_c())
+        cpu.append(
+            max(
+                value
+                for name, value in steady.temperatures_c.items()
+                if name.startswith("cpu")
+            )
+        )
+    return np.array(outlet), np.array(cpu)
 
 
 def blockage_sweep(
     platform: str, fractions: np.ndarray, jobs: int = 1
 ) -> dict[str, np.ndarray]:
     """Steady outlet and (hottest) CPU temperatures across a grille sweep."""
-    points = sweep(
-        _solve_point,
-        [(platform, float(fraction)) for fraction in fractions],
-        jobs=jobs,
-        label="runner.fig7_blockage",
+    del jobs  # one batched solve; kept for call-site compatibility
+    outlet, cpu = _solve_platform(
+        (platform, tuple(float(fraction) for fraction in fractions))
     )
-    outlet = np.array([point[0] for point in points])
-    cpu = np.array([point[1] for point in points])
     return {"blockage": fractions, "outlet_c": outlet, "cpu_c": cpu}
 
 
 def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Sweep grille blockage for all three platforms.
 
-    With ``jobs > 1`` the full ``platform x fraction`` grid fans out
-    over one process pool rather than three sequential per-platform
-    sweeps, so small grids still fill every worker.
+    Each platform's whole fraction grid is solved as one batch; with
+    ``jobs > 1`` the three platform batches fan out over the pool.
     """
     step = 0.15 if quick else 0.05
     fractions = np.arange(0.0, 0.90 + 1e-9, step)
@@ -75,21 +82,20 @@ def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:
         title="Server temperatures vs airflow blockage",
     )
     grid = [
-        (platform, float(fraction))
+        (platform, tuple(float(fraction) for fraction in fractions))
         for platform in platforms
-        for fraction in fractions
     ]
     points = sweep(
-        _solve_point, grid, jobs=jobs, label="runner.fig7_blockage"
+        _solve_platform, grid, jobs=jobs, label="runner.fig7_blockage"
     )
 
     sweeps = {}
     for index, platform in enumerate(platforms):
-        segment = points[index * len(fractions) : (index + 1) * len(fractions)]
+        outlet_curve, cpu_curve = points[index]
         curve = {
             "blockage": fractions,
-            "outlet_c": np.array([point[0] for point in segment]),
-            "cpu_c": np.array([point[1] for point in segment]),
+            "outlet_c": outlet_curve,
+            "cpu_c": cpu_curve,
         }
         sweeps[platform] = curve
         result.series[f"{platform}_blockage"] = curve["blockage"]

@@ -34,7 +34,7 @@ from repro.server.chassis import ServerChassis, constant_utilization
 from repro.server.configs import PlatformSpec
 from repro.thermal.convection import flow_scaled_conductance
 from repro.thermal.solver import simulate_transient
-from repro.thermal.steady_state import solve_steady_state
+from repro.thermal.steady_state import solve_steady_state_batch
 from repro.units import hours
 
 #: Utilization grid at which the detailed model is sampled.
@@ -167,15 +167,19 @@ def characterize_platform(
     reference_flow = chassis.reference_flow_m3_s()
     g_reference = loadout.total_conductance_w_per_k()
 
-    zone_deltas: list[float] = []
-    ua_values: list[float] = []
-    for level in utilization_grid:
-        network = chassis.build_network(
+    # One batched steady solve covers the whole utilization grid; each
+    # member's result is bit-identical to a serial solve at that level.
+    networks = [
+        chassis.build_network(
             utilization=constant_utilization(level),
             inlet_temperature_c=CHARACTERIZATION_INLET_C,
             placebo=True,
         )
-        steady = solve_steady_state(network)
+        for level in utilization_grid
+    ]
+    zone_deltas: list[float] = []
+    ua_values: list[float] = []
+    for steady in solve_steady_state_batch(networks):
         zone_deltas.append(
             steady.air_temperatures_c[loadout.zone] - CHARACTERIZATION_INLET_C
         )

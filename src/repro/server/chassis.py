@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.server.components import Component, component_node_names
 from repro.server.power import ServerPowerModel
@@ -282,6 +284,12 @@ class ServerChassis:
         segments = {zone: AirSegment(zone) for zone in self.zone_order}
         reference_flow = self.reference_flow_m3_s()
 
+        # Per-node power decomposition for the vectorized solver path:
+        # ``idle + (span * u(t)) * f(t)`` per node, with a handful of
+        # non-affine nodes (the PSU loss curve) evaluated by closure.
+        affine: dict[str, tuple[float, float, bool]] = {}
+        custom: dict[str, Callable[[float], float]] = {}
+
         def add_source(
             node_name: str,
             zone: str,
@@ -309,16 +317,23 @@ class ServerChassis:
                     component.reference_conductance_w_per_k,
                     self._component_power(component, utilization, dvfs_factor),
                 )
+                affine[node_name] = (
+                    component.idle_power_w,
+                    component.dynamic_range_w,
+                    component.scales_with_frequency,
+                )
+
+        def psu_power(t: float) -> float:
+            return self.power_model.psu_loss_w(utilization(t), frequency_schedule(t))
 
         add_source(
             "psu",
             self.psu_zone,
             self.psu_heat_capacity_j_per_k,
             self.psu_reference_conductance_w_per_k,
-            lambda t: self.power_model.psu_loss_w(
-                utilization(t), frequency_schedule(t)
-            ),
+            psu_power,
         )
+        custom["psu"] = psu_power
 
         residual_idle, residual_peak = self.residual_board_power_w()
         residual_span = residual_peak - residual_idle
@@ -329,6 +344,7 @@ class ServerChassis:
             self.board_reference_conductance_w_per_k,
             lambda t: residual_idle + residual_span * utilization(t) * dvfs_factor(t),
         )
+        affine["board"] = (residual_idle, residual_span, True)
 
         if with_wax:
             self._add_wax_nodes(
@@ -351,7 +367,59 @@ class ServerChassis:
         )
         network.set_air_path(air_path)
         network.validate()
+        network.power_vector_fn = self._power_vector_fn(
+            network, affine, custom, utilization, dvfs_factor
+        )
         return network
+
+    def _power_vector_fn(
+        self,
+        network: ThermalNetwork,
+        affine: dict[str, tuple[float, float, bool]],
+        custom: dict[str, Callable[[float], float]],
+        utilization: UtilizationSchedule,
+        dvfs_factor: Callable[[float], float],
+    ) -> Callable[[float], np.ndarray]:
+        """All-node power evaluation sharing one schedule lookup per step.
+
+        The per-node closures each re-evaluate the utilization and DVFS
+        schedules; at solver rates that dominates the right-hand side.
+        This vector form evaluates the shared schedules once and applies
+        the same affine decomposition ``idle + (span * u) * f`` per node
+        (multiplying by exactly 1.0 for frequency-insensitive nodes), so
+        it is bit-identical to the closure path. Results are memoized on
+        the ``(utilization, dvfs factor)`` pair — every power in the
+        chassis (including the PSU loss, since the frequency factor is a
+        strictly monotonic function of frequency) is determined by those
+        two values, and the schedules are piecewise constant in time.
+        """
+        names = network.capacitive_names
+        idle_vec = np.array([affine.get(name, (0.0, 0.0, False))[0] for name in names])
+        span_vec = np.array([affine.get(name, (0.0, 0.0, False))[1] for name in names])
+        factor_mask = np.array(
+            [affine.get(name, (0.0, 0.0, False))[2] for name in names]
+        )
+        custom_slots = [
+            (index, custom[name])
+            for index, name in enumerate(names)
+            if name in custom
+        ]
+
+        cache: dict[str, object] = {"key": None, "powers": None}
+
+        def power_vector(time_s: float) -> np.ndarray:
+            u = utilization(time_s)
+            f = dvfs_factor(time_s)
+            if (u, f) == cache["key"]:
+                return cache["powers"]
+            powers = idle_vec + (span_vec * u) * np.where(factor_mask, f, 1.0)
+            for index, func in custom_slots:
+                powers[index] = func(time_s)
+            cache["key"] = (u, f)
+            cache["powers"] = powers
+            return powers
+
+        return power_vector
 
     def _component_power(
         self,

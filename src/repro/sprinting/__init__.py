@@ -18,6 +18,7 @@ from repro.sprinting.model import (
     SprintChip,
     SprintResult,
     run_sprint,
+    run_sprint_batch,
     sprint_extension_ratio,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "SprintChip",
     "SprintResult",
     "run_sprint",
+    "run_sprint_batch",
     "sprint_extension_ratio",
 ]

@@ -24,7 +24,8 @@ from repro.errors import ConfigurationError
 from repro.materials.library import EICOSANE
 from repro.materials.pcm import PCMMaterial, PCMSample
 from repro.thermal.network import ThermalNetwork
-from repro.thermal.solver import simulate_transient
+from repro.thermal.solver import TransientResult, simulate_transient
+from repro.thermal.solver import simulate_transient_batch
 
 
 @dataclass(frozen=True)
@@ -123,25 +124,14 @@ class SprintResult:
     final_melt_fraction: float
 
 
-def run_sprint(
+def _sprint_outcome(
     chip: SprintChip,
+    result: TransientResult,
     sprint_power_w: float,
-    pcm_grams: float = 0.0,
-    material: PCMMaterial = EICOSANE,
-    horizon_s: float = 600.0,
-    output_interval_s: float = 0.05,
+    pcm_grams: float,
+    horizon_s: float,
 ) -> SprintResult:
-    """Sprint from the idle steady state until the junction limit.
-
-    Returns the sprint duration (time to the junction limit, or the full
-    horizon if the chip never hits it — i.e. the power was sustainable).
-    """
-    if horizon_s <= 0:
-        raise ConfigurationError("horizon must be positive")
-    network = chip.build_network(sprint_power_w, pcm_grams, material)
-    result = simulate_transient(
-        network, horizon_s, output_interval_s=output_interval_s
-    )
+    """Condense one transient trace into a sprint outcome."""
     die = result.temperatures_c["die"]
     over = die >= chip.junction_limit_c
     if np.any(over):
@@ -161,6 +151,57 @@ def run_sprint(
         hit_limit=hit,
         final_melt_fraction=melt,
     )
+
+
+def run_sprint(
+    chip: SprintChip,
+    sprint_power_w: float,
+    pcm_grams: float = 0.0,
+    material: PCMMaterial = EICOSANE,
+    horizon_s: float = 600.0,
+    output_interval_s: float = 0.05,
+) -> SprintResult:
+    """Sprint from the idle steady state until the junction limit.
+
+    Returns the sprint duration (time to the junction limit, or the full
+    horizon if the chip never hits it — i.e. the power was sustainable).
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon must be positive")
+    network = chip.build_network(sprint_power_w, pcm_grams, material)
+    result = simulate_transient(
+        network, horizon_s, output_interval_s=output_interval_s
+    )
+    return _sprint_outcome(chip, result, sprint_power_w, pcm_grams, horizon_s)
+
+
+def run_sprint_batch(
+    chip: SprintChip,
+    sprint_powers_w: list[float],
+    pcm_grams: float = 0.0,
+    material: PCMMaterial = EICOSANE,
+    horizon_s: float = 600.0,
+    output_interval_s: float = 0.05,
+) -> list[SprintResult]:
+    """Sprint a whole power sweep in one batched transient run.
+
+    All members share the package structure (the PCM loadout must be the
+    same), so the sweep advances as one stacked RK4 integration via
+    :func:`repro.thermal.solver.simulate_transient_batch`.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon must be positive")
+    networks = [
+        chip.build_network(float(power), pcm_grams, material)
+        for power in sprint_powers_w
+    ]
+    batch = simulate_transient_batch(
+        networks, horizon_s, output_interval_s=output_interval_s
+    )
+    return [
+        _sprint_outcome(chip, result, float(power), pcm_grams, horizon_s)
+        for power, result in zip(sprint_powers_w, batch.require_all())
+    ]
 
 
 def sprint_extension_ratio(

@@ -254,6 +254,16 @@ class AirPath:
     duct_area_m2: float
     added_blockage_fraction: float = 0.0
     fan_speed_schedule: Callable[[float], float] | None = None
+    #: Memo of the last (speed fraction, operating flow) pair; the fan
+    #: schedule is piecewise constant, so the solver's per-step flow
+    #: lookups almost always hit. Instance-local; ``with_blockage`` copies
+    #: start with a cold cache.
+    _flow_cache: tuple[float, float] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _impedance_cache: SystemImpedance | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.segments:
@@ -279,13 +289,20 @@ class AirPath:
         raise ConfigurationError(f"no air segment named {name!r}")
 
     def total_impedance(self) -> SystemImpedance:
-        """Base impedance plus the configured blockage restriction."""
-        if self.added_blockage_fraction == 0.0:
-            return self.base_impedance
-        extra = blockage_impedance_coefficient(
-            self.duct_area_m2, self.added_blockage_fraction
-        )
-        return self.base_impedance.with_added(extra)
+        """Base impedance plus the configured blockage restriction.
+
+        Both terms are fixed per path instance, so the composition is
+        computed once and reused.
+        """
+        if self._impedance_cache is None:
+            if self.added_blockage_fraction == 0.0:
+                self._impedance_cache = self.base_impedance
+            else:
+                extra = blockage_impedance_coefficient(
+                    self.duct_area_m2, self.added_blockage_fraction
+                )
+                self._impedance_cache = self.base_impedance.with_added(extra)
+        return self._impedance_cache
 
     def speed_fraction(self, time_s: float) -> float:
         """Fan speed fraction at a simulation time (default: full speed)."""
@@ -295,9 +312,13 @@ class AirPath:
 
     def flow_at_time(self, time_s: float) -> float:
         """Operating volumetric flow at a simulation time."""
-        return operating_flow(
-            self.fans, self.total_impedance(), self.speed_fraction(time_s)
-        )
+        speed = self.speed_fraction(time_s)
+        cached = self._flow_cache
+        if cached is not None and cached[0] == speed:
+            return cached[1]
+        flow = operating_flow(self.fans, self.total_impedance(), speed)
+        self._flow_cache = (speed, flow)
+        return flow
 
     def with_blockage(self, blocked_fraction: float) -> "AirPath":
         """Copy of this path with a different added blockage fraction.

@@ -42,11 +42,31 @@ TemperatureFunction = Callable[[float], float]
 
 
 def _as_time_function(value: float | Callable[[float], float]) -> Callable[[float], float]:
-    """Wrap a constant as a function of time; pass callables through."""
+    """Wrap a constant as a function of time; pass callables through.
+
+    The wrapper is tagged with ``constant_value`` so the compiled solver
+    can hoist it out of the right-hand side entirely (see
+    :func:`constant_value_of`).
+    """
     if callable(value):
         return value
     constant = float(value)
-    return lambda _time: constant
+
+    def constant_function(_time: float) -> float:
+        return constant
+
+    constant_function.constant_value = constant
+    return constant_function
+
+
+def constant_value_of(func: Callable[[float], float]) -> float | None:
+    """The constant a time function always returns, or ``None``.
+
+    Only functions created by :func:`_as_time_function` from a plain
+    number carry the tag; arbitrary callables are (soundly) treated as
+    time-varying.
+    """
+    return getattr(func, "constant_value", None)
 
 
 @dataclass
@@ -120,6 +140,14 @@ class ThermalNetwork:
         self._pcm: dict[str, PCMNode] = {}
         self._conductances: list[Conductance] = []
         self.air_path: AirPath | None = None
+        #: Optional fast path for the compiled solver: a function of time
+        #: returning the power of every capacitive node (state order) as
+        #: one array. Builders that drive many nodes from one shared
+        #: schedule (e.g. a chassis utilization trace) install it so the
+        #: solver evaluates the schedule once per step instead of once
+        #: per node. Must agree with the per-node ``power_w`` callables,
+        #: which remain the readable reference.
+        self.power_vector_fn: Callable[[float], np.ndarray] | None = None
 
     # -- construction -----------------------------------------------------
 

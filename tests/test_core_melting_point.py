@@ -75,3 +75,74 @@ class TestValidation:
                 google_trace.total,
                 config=SimulationConfig(wax_enabled=False),
             )
+
+
+class TestBatchedFluidEquivalence:
+    def test_batched_peaks_match_serial_runs(
+        self, one_u_spec, one_u_characterization, short_diurnal_trace
+    ):
+        """Every member of one batched fluid run must reproduce its own
+        serial simulation's peak exactly (bit-identical stepping)."""
+        from repro.core.melting_point import batched_fluid_peaks
+        from repro.dcsim.simulator import DatacenterSimulator
+        from repro.materials.library import (
+            commercial_paraffin_with_melting_point,
+        )
+
+        topology = ClusterTopology(server_count=16)
+        materials = [
+            commercial_paraffin_with_melting_point(melt)
+            for melt in (40.0, 43.0, 47.0)
+        ]
+        wax_enabled = np.array([False, True, True])
+        peaks = batched_fluid_peaks(
+            one_u_characterization,
+            one_u_spec.power_model,
+            materials,
+            wax_enabled,
+            short_diurnal_trace,
+            topology,
+            SimulationConfig(mode="fluid"),
+        )
+        for index, material in enumerate(materials):
+            serial = DatacenterSimulator(
+                one_u_characterization,
+                one_u_spec.power_model,
+                material,
+                short_diurnal_trace,
+                topology=topology,
+                config=SimulationConfig(
+                    mode="fluid", wax_enabled=bool(wax_enabled[index])
+                ),
+            ).run()
+            assert peaks[index] == serial.peak_cooling_load_w
+
+    def test_fluid_search_matches_event_free_serial_grid(
+        self, one_u_spec, one_u_characterization, short_diurnal_trace
+    ):
+        """The batched fluid search returns the same winner as explicit
+        per-candidate serial simulations."""
+        from repro.dcsim.simulator import DatacenterSimulator
+        from repro.materials.library import (
+            commercial_paraffin_with_melting_point,
+        )
+
+        topology = ClusterTopology(server_count=16)
+        search = optimize_melting_point(
+            one_u_characterization,
+            one_u_spec.power_model,
+            short_diurnal_trace,
+            topology=topology,
+            window_c=(42.0, 46.0),
+            step_c=2.0,
+        )
+        for melt_c, peak in zip(search.candidates_c, search.peak_cooling_w):
+            serial = DatacenterSimulator(
+                one_u_characterization,
+                one_u_spec.power_model,
+                commercial_paraffin_with_melting_point(float(melt_c)),
+                short_diurnal_trace,
+                topology=topology,
+                config=SimulationConfig(mode="fluid", wax_enabled=True),
+            ).run()
+            assert peak == serial.peak_cooling_load_w

@@ -312,6 +312,65 @@ class TestResultAPI:
         assert np.allclose(result.times_hours, [1.0, 2.0])
 
 
+class TestThrottledMask:
+    @staticmethod
+    def _result(frequency_ghz, nominal=None):
+        n = len(frequency_ghz)
+        zeros = np.zeros(n)
+        return SimulationResult(
+            times_s=np.arange(1, n + 1) * 60.0, demand=zeros,
+            utilization=zeros, frequency_ghz=np.asarray(frequency_ghz),
+            power_w=zeros, cooling_load_w=zeros, wax_heat_w=zeros,
+            melt_fraction=zeros, throughput=zeros, queue_length=zeros,
+            shed_work=zeros, nominal_frequency_ghz=nominal,
+        )
+
+    def test_always_throttled_run_reports_every_tick(self):
+        """Regression: a run pinned below nominal for its whole duration
+        used to compare against its own maximum and report zero ticks."""
+        result = self._result([2.0, 2.0, 2.0], nominal=2.4)
+        assert result.throttled_mask().all()
+
+    def test_partial_throttle_against_nominal(self):
+        result = self._result([2.4, 2.0, 2.4, 1.8], nominal=2.4)
+        assert list(result.throttled_mask()) == [False, True, False, True]
+
+    def test_legacy_fallback_uses_run_maximum(self):
+        # Recordings without a stored nominal keep the old heuristic
+        # (and its blind spot, documented here deliberately).
+        result = self._result([2.0, 2.0, 2.0], nominal=None)
+        assert not result.throttled_mask().any()
+
+    def test_fluid_run_stores_nominal(
+        self, one_u_characterization, one_u_spec, material, short_diurnal_trace
+    ):
+        run_result = make_sim(
+            one_u_characterization,
+            one_u_spec.power_model,
+            material,
+            short_diurnal_trace,
+            mode="fluid",
+        ).run()
+        assert run_result.nominal_frequency_ghz == pytest.approx(
+            one_u_spec.power_model.nominal_frequency_ghz
+        )
+
+    def test_event_run_stores_nominal(
+        self, one_u_characterization, one_u_spec, material, short_diurnal_trace
+    ):
+        run_result = make_sim(
+            one_u_characterization,
+            one_u_spec.power_model,
+            material,
+            short_diurnal_trace,
+            servers=8,
+            mode="event",
+        ).run()
+        assert run_result.nominal_frequency_ghz == pytest.approx(
+            one_u_spec.power_model.nominal_frequency_ghz
+        )
+
+
 class TestEventModeWithRoom:
     def test_room_policy_in_event_mode(
         self, one_u_characterization, one_u_spec, material, short_diurnal_trace

@@ -156,3 +156,82 @@ class TestAgainstScalarModel:
         assert vector.melt_fraction[0] == pytest.approx(
             scalar.sample.melt_fraction, abs=1e-9
         )
+
+
+class TestBatchedClusterState:
+    def test_batch_matches_serial_clusters_exactly(
+        self, one_u_spec, one_u_characterization
+    ):
+        """Stacking clusters along the leading axis performs the same
+        arithmetic elementwise, so the batched state must reproduce
+        serial per-cluster stepping bit for bit."""
+        from repro.dcsim.thermal_coupling import BatchedClusterThermalState
+
+        materials = [
+            commercial_paraffin_with_melting_point(melt)
+            for melt in (41.0, 43.0, 47.0)
+        ]
+        wax_enabled = np.array([False, True, True])
+        batched = BatchedClusterThermalState(
+            characterization=one_u_characterization,
+            power_model=one_u_spec.power_model,
+            material=materials,
+            cluster_count=3,
+            server_count=8,
+            wax_enabled=wax_enabled,
+        )
+        serial = [
+            ClusterThermalState(
+                characterization=one_u_characterization,
+                power_model=one_u_spec.power_model,
+                material=materials[i],
+                server_count=8,
+                wax_enabled=bool(wax_enabled[i]),
+            )
+            for i in range(3)
+        ]
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            utilization = rng.uniform(0.0, 1.0, size=8)
+            stacked = np.tile(utilization, (3, 1))
+            b_power, b_release, b_wax = batched.step(60.0, stacked, 2.4)
+            for i, state in enumerate(serial):
+                s_power, s_release, s_wax = state.step(60.0, utilization, 2.4)
+                assert np.array_equal(b_power[i], s_power), i
+                assert np.array_equal(b_release[i], s_release), i
+                assert np.array_equal(b_wax[i], s_wax), i
+        for i, state in enumerate(serial):
+            assert np.array_equal(
+                batched.specific_enthalpy_j_per_kg[i],
+                state.specific_enthalpy_j_per_kg,
+            )
+            assert np.array_equal(
+                batched.zone_temperature_c[i], state.zone_temperature_c
+            )
+
+    def test_material_list_length_validated(
+        self, one_u_spec, one_u_characterization, material
+    ):
+        from repro.dcsim.thermal_coupling import BatchedClusterThermalState
+
+        with pytest.raises(ConfigurationError):
+            BatchedClusterThermalState(
+                characterization=one_u_characterization,
+                power_model=one_u_spec.power_model,
+                material=[material, material],
+                cluster_count=3,
+                server_count=4,
+            )
+
+    def test_scalar_wrapper_delegates(self, cluster_state):
+        """ClusterThermalState is a one-cluster view over the batched
+        implementation; its public arrays must stay (S,)-shaped."""
+        assert cluster_state.zone_temperature_c.shape == (16,)
+        assert cluster_state.melt_fraction.shape == (16,)
+        power, release, wax = cluster_state.step(
+            60.0, np.full(16, 0.8), 2.4
+        )
+        assert power.shape == (16,)
+        assert release.shape == (16,)
+        assert wax.shape == (16,)
+        assert isinstance(cluster_state.stored_latent_heat_j, float)

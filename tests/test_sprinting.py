@@ -88,3 +88,36 @@ class TestSprints:
             run_sprint(chip, 0.0)
         with pytest.raises(ConfigurationError):
             run_sprint(chip, 16.0, horizon_s=0.0)
+
+
+class TestBatchedSweep:
+    def test_batch_matches_serial_sprints(self, chip):
+        from repro.sprinting import run_sprint_batch
+
+        powers = [12.0, 16.0, 20.0]
+        batch = run_sprint_batch(
+            chip, powers, pcm_grams=10.0, horizon_s=900.0
+        )
+        assert [outcome.sprint_power_w for outcome in batch] == powers
+        for power, outcome in zip(powers, batch):
+            solo = run_sprint(chip, power, pcm_grams=10.0, horizon_s=900.0)
+            assert outcome.duration_s == solo.duration_s
+            assert outcome.hit_limit == solo.hit_limit
+            assert outcome.final_melt_fraction == pytest.approx(
+                solo.final_melt_fraction, abs=1e-12
+            )
+
+    def test_batch_durations_decrease_with_power(self, chip):
+        from repro.sprinting import run_sprint_batch
+
+        batch = run_sprint_batch(
+            chip, [12.0, 16.0, 20.0], pcm_grams=10.0, horizon_s=900.0
+        )
+        durations = [outcome.duration_s for outcome in batch]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_batch_validation(self, chip):
+        from repro.sprinting import run_sprint_batch
+
+        with pytest.raises(ConfigurationError):
+            run_sprint_batch(chip, [16.0], horizon_s=0.0)

@@ -155,6 +155,68 @@ class TestGuards:
             stable_step_s(rc_network(), safety=0.0)
 
 
+class TestHorizonSampling:
+    """The traces always end with a sample exactly at the horizon.
+
+    Regression coverage for two historical bugs: a horizon shorter than
+    the output interval silently skipped the integration loop entirely
+    (the run returned its initial condition as the "final" state), and a
+    horizon that was not an interval multiple lost its final partial
+    interval to the floor division.
+    """
+
+    @pytest.mark.parametrize("method", ["rk4", "bdf"])
+    def test_short_horizon_still_integrates(self, method):
+        # 30 s of a tau = 400 s RC charge: small but clearly nonzero.
+        network = rc_network()
+        result = simulate_transient(
+            network, 30.0, output_interval_s=60.0, method=method
+        )
+        assert list(result.times_s) == [0.0, 30.0]
+        tau = 200.0 / 0.5
+        expected = 45.0 + (25.0 - 45.0) * np.exp(-30.0 / tau)
+        assert result.temperatures_c["node"][-1] == pytest.approx(
+            expected, abs=0.05
+        )
+
+    @pytest.mark.parametrize("method", ["rk4", "bdf"])
+    def test_short_horizon_commits_advanced_state(self, method):
+        network, sample = wax_network()
+        before = sample.enthalpy_j
+        simulate_transient(
+            network,
+            30.0,
+            output_interval_s=60.0,
+            method=method,
+            commit_final_state=True,
+        )
+        assert sample.enthalpy_j > before
+
+    @pytest.mark.parametrize("method", ["rk4", "bdf"])
+    def test_non_multiple_horizon_keeps_final_sample(self, method):
+        network = rc_network()
+        result = simulate_transient(
+            network, 150.0, output_interval_s=60.0, method=method
+        )
+        assert list(result.times_s) == [0.0, 60.0, 120.0, 150.0]
+        assert result.times_s[-1] == 150.0
+        # The trace is still strictly monotone in temperature (charging).
+        assert np.all(np.diff(result.temperatures_c["node"]) > 0)
+
+    def test_exact_multiple_horizon_unchanged(self):
+        network = rc_network()
+        result = simulate_transient(network, 120.0, output_interval_s=60.0)
+        assert list(result.times_s) == [0.0, 60.0, 120.0]
+
+    def test_batch_horizon_matches_single(self):
+        networks = [rc_network(power_w=p) for p in (5.0, 10.0)]
+        from repro.thermal.solver import simulate_transient_batch
+
+        batch = simulate_transient_batch(networks, 150.0, output_interval_s=60.0)
+        for result in batch.require_all():
+            assert list(result.times_s) == [0.0, 60.0, 120.0, 150.0]
+
+
 class TestCompiledAgainstReference:
     def test_compiled_rhs_matches_network_rhs(self, one_u_spec):
         """The fast array evaluator and the readable dict evaluator must

@@ -18,13 +18,37 @@ from repro.errors import SimulationError
 class LoadBalancer(abc.ABC):
     """Chooses which server receives an arriving job."""
 
+    #: Servers ``[0, _offline)`` are unavailable (fault injection marks
+    #: the lowest-indexed servers as failed; they drain but take no new
+    #: work). Class-level default so subclasses need no super().__init__.
+    _offline: int = 0
+
     @abc.abstractmethod
     def choose(self, busy_slots: np.ndarray, slots_per_server: int) -> int | None:
         """Index of the server to dispatch to, or None if every slot in the
         cluster is busy (the job must queue)."""
 
+    def set_offline(self, offline_count: int) -> None:
+        """Mark the first ``offline_count`` servers as unavailable.
+
+        The fault injector calls this every tick while a server-outage
+        fault is active (and with 0 on recovery); in-flight jobs on an
+        offline server complete normally, it just receives no new work.
+        """
+        if offline_count < 0:
+            raise SimulationError(
+                f"offline count must be non-negative, got {offline_count}"
+            )
+        self._offline = int(offline_count)
+
+    @property
+    def offline_count(self) -> int:
+        """Servers currently marked unavailable."""
+        return self._offline
+
     def reset(self) -> None:
         """Clear any dispatch state between simulation runs."""
+        self._offline = 0
 
 
 class RoundRobin(LoadBalancer):
@@ -34,6 +58,7 @@ class RoundRobin(LoadBalancer):
         self._next = 0
 
     def reset(self) -> None:
+        super().reset()
         self._next = 0
 
     def choose(self, busy_slots: np.ndarray, slots_per_server: int) -> int | None:
@@ -42,6 +67,8 @@ class RoundRobin(LoadBalancer):
             raise SimulationError("cannot balance over zero servers")
         for offset in range(n):
             index = (self._next + offset) % n
+            if index < self._offline:
+                continue
             if busy_slots[index] < slots_per_server:
                 self._next = (index + 1) % n
                 return index
@@ -55,7 +82,10 @@ class LeastLoaded(LoadBalancer):
     def choose(self, busy_slots: np.ndarray, slots_per_server: int) -> int | None:
         if len(busy_slots) == 0:
             raise SimulationError("cannot balance over zero servers")
-        index = int(np.argmin(busy_slots))
+        if self._offline >= len(busy_slots):
+            return None
+        candidates = busy_slots[self._offline:]
+        index = self._offline + int(np.argmin(candidates))
         if busy_slots[index] >= slots_per_server:
             return None
         return index

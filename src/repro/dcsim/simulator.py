@@ -141,6 +141,7 @@ class DatacenterSimulator:
         arrivals: list[Arrival] | None = None,
         room: RoomModel | None = None,
         inlet_offsets_c: np.ndarray | None = None,
+        fault_injector=None,
     ) -> None:
         self.characterization = characterization
         self.power_model = power_model
@@ -152,6 +153,13 @@ class DatacenterSimulator:
         self.config = config or SimulationConfig()
         self.room = room
         self.inlet_offsets_c = inlet_offsets_c
+        self.fault_injector = fault_injector
+        #: Thermal state at the end of the most recent run (for invariant
+        #: checks that need the final enthalpy field).
+        self.final_state: ClusterThermalState | None = None
+        #: Copy of the per-server wax enthalpy at t=0 of the most recent
+        #: run, for whole-run energy-closure checks.
+        self.initial_specific_enthalpy_j_per_kg: np.ndarray | None = None
         self._arrivals = arrivals
 
     # -- shared helpers ------------------------------------------------------
@@ -181,6 +189,8 @@ class DatacenterSimulator:
         reset = getattr(self.policy, "reset", None)
         if callable(reset):
             reset()
+        if self.fault_injector is not None:
+            self.fault_injector.reset()
         obs = get_registry()
         start = time.perf_counter()
         with obs.timer("dcsim.run"):
@@ -204,6 +214,12 @@ class DatacenterSimulator:
         if self.room is not None:
             state.inlet_temperature_c = self.room.temperature_c
 
+    def _base_inlet_c(self) -> float:
+        """The inlet temperature this tick absent any fault excursion."""
+        if self.room is not None:
+            return self.room.temperature_c
+        return self.config.inlet_temperature_c
+
     def _post_tick(self, release_total_w: float, dt: float) -> float:
         """Advance the room model; returns the room temperature."""
         if self.room is None:
@@ -215,24 +231,55 @@ class DatacenterSimulator:
 
     def _run_fluid(self) -> SimulationResult:
         state = self._make_state()
+        self.initial_specific_enthalpy_j_per_kg = np.array(
+            state.specific_enthalpy_j_per_kg, copy=True
+        )
         n_servers = self.topology.server_count
         dt = self.config.tick_interval_s
         ticks = self._tick_times()
+        injector = self.fault_injector
 
         throttle_ticks = 0
         records = _Recorder(len(ticks), n_servers)
         for i, t in enumerate(ticks):
             demand = float(np.clip(self.trace.value_at(t - 0.5 * dt), 0.0, 1.0))
+            if injector is not None:
+                injector.advance_to(t, room=self.room)
             self._pre_tick(state)
-            # Policies see the offered work rate in nominal capacity units.
-            decision = self.policy.decide(state, np.full(n_servers, demand))
+            if injector is not None:
+                injector.apply_state(state, base_inlet_c=self._base_inlet_c())
+            # Policies see the offered work rate in nominal capacity units
+            # (possibly corrupted by an active sensor fault).
+            work_rate = np.full(n_servers, demand)
+            if injector is not None:
+                work_rate = injector.observe(work_rate)
+            decision = self.policy.decide(state, work_rate)
+            if injector is not None:
+                decision = injector.constrain(decision)
             if decision.limited:
                 throttle_ticks += 1
             tf = self.power_model.throughput_factor(decision.frequency_ghz)
-            utilization = np.minimum(demand / tf, 1.0)
-            utilization = np.minimum(utilization, decision.utilization_cap)
-            utilization_vec = np.full(n_servers, utilization)
-            served = utilization * tf
+            offline = (
+                injector.offline_count(n_servers) if injector is not None else 0
+            )
+            if offline > 0:
+                # Surviving servers absorb the whole offered load; the
+                # failed (lowest-indexed) servers sit idle.
+                alive = n_servers - offline
+                concentrated = demand * n_servers / alive
+                utilization = min(
+                    concentrated / tf, 1.0, decision.utilization_cap
+                )
+                utilization_vec = np.zeros(n_servers)
+                utilization_vec[offline:] = utilization
+                served = utilization * tf * alive / n_servers
+                mean_utilization = utilization * alive / n_servers
+            else:
+                utilization = np.minimum(demand / tf, 1.0)
+                utilization = np.minimum(utilization, decision.utilization_cap)
+                utilization_vec = np.full(n_servers, utilization)
+                served = utilization * tf
+                mean_utilization = utilization
             shed = max(demand - served, 0.0)
 
             power, release, wax = state.step(dt, utilization_vec, decision.frequency_ghz)
@@ -241,7 +288,7 @@ class DatacenterSimulator:
                 i,
                 time_s=t,
                 demand=demand,
-                utilization=utilization,
+                utilization=mean_utilization,
                 frequency=decision.frequency_ghz,
                 power=float(np.sum(power)),
                 release=float(np.sum(release)),
@@ -253,6 +300,7 @@ class DatacenterSimulator:
                 room=room_temp,
             )
         get_registry().count("dcsim.throttle_ticks", throttle_ticks)
+        self.final_state = state
         return records.result(n_servers, self.power_model.nominal_frequency_ghz)
 
     # -- event mode -----------------------------------------------------------
@@ -267,7 +315,11 @@ class DatacenterSimulator:
                 seed=self.config.seed,
             )
         state = self._make_state()
+        self.initial_specific_enthalpy_j_per_kg = np.array(
+            state.specific_enthalpy_j_per_kg, copy=True
+        )
         self.load_balancer.reset()
+        injector = self.fault_injector
 
         n_servers = self.topology.server_count
         slots = self.config.slots_per_server
@@ -320,6 +372,13 @@ class DatacenterSimulator:
             return True
 
         for tick_index, tick_time in enumerate(ticks):
+            if injector is not None:
+                # Faults resolve at tick granularity: effects at this
+                # tick's end apply to dispatch within the tick window.
+                injector.advance_to(tick_time, room=self.room)
+                self.load_balancer.set_offline(
+                    injector.offline_count(n_servers)
+                )
             # Process arrivals and completions inside this tick.
             while True:
                 next_arrival = (
@@ -360,9 +419,16 @@ class DatacenterSimulator:
             utilization = busy_time / (dt * slots)
             busy_time[:] = 0.0
             self._pre_tick(state)
+            if injector is not None:
+                injector.apply_state(state, base_inlet_c=self._base_inlet_c())
             # Offered work rate this tick: busy fraction times the current
             # per-slot service rate.
-            decision = self.policy.decide(state, utilization * tf)
+            work_rate = utilization * tf
+            if injector is not None:
+                work_rate = injector.observe(work_rate)
+            decision = self.policy.decide(state, work_rate)
+            if injector is not None:
+                decision = injector.constrain(decision)
             if decision.limited:
                 throttle_ticks += 1
             frequency = decision.frequency_ghz
@@ -401,6 +467,7 @@ class DatacenterSimulator:
             obs.count("dcsim.events", events_processed)
             obs.count("dcsim.throttle_ticks", throttle_ticks)
             obs.record_max("dcsim.queue_high_water", queue_high_water)
+        self.final_state = state
         return records.result(n_servers, nominal)
 
 

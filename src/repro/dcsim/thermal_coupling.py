@@ -166,6 +166,46 @@ class BatchedClusterThermalState:
         self.specific_enthalpy_j_per_kg = self._enthalpy_at_temperature(
             self.zone_temperature_c
         )
+        # Fault-injection scales (see repro.faults). Exactly 1.0 means the
+        # scaled quantity is not multiplied at all, keeping faultless runs
+        # bit-identical to the un-instrumented dynamics.
+        self._ua_scale = 1.0
+        self._zone_delta_scale = 1.0
+        self._wax_capacity_factor = 1.0
+
+    def set_fault_scales(
+        self,
+        ua_scale: float = 1.0,
+        zone_delta_scale: float = 1.0,
+        wax_capacity_factor: float = 1.0,
+    ) -> None:
+        """Set the fault-injection modifiers for subsequent steps.
+
+        ``ua_scale`` scales the air-to-wax conductance (a derated fan
+        moves less air over the boxes), ``zone_delta_scale`` scales the
+        steady zone temperature rise (less flow removes less heat per
+        degree), and ``wax_capacity_factor`` scales the effective wax
+        mass (cycling degradation shrinks the latent store). All three
+        persist until changed; the injector resets them to 1.0 when the
+        fault clears.
+        """
+        for label, value in (
+            ("ua scale", ua_scale),
+            ("zone delta scale", zone_delta_scale),
+            ("wax capacity factor", wax_capacity_factor),
+        ):
+            if not value > 0.0:
+                raise ConfigurationError(
+                    f"{label} must be positive, got {value}"
+                )
+        if wax_capacity_factor > 1.0:
+            raise ConfigurationError(
+                f"wax capacity factor cannot exceed 1.0, got "
+                f"{wax_capacity_factor}"
+            )
+        self._ua_scale = float(ua_scale)
+        self._zone_delta_scale = float(zone_delta_scale)
+        self._wax_capacity_factor = float(wax_capacity_factor)
 
     # -- per-cluster enthalpy maps (same branches as ``PCMMaterial``) -------
 
@@ -198,11 +238,18 @@ class BatchedClusterThermalState:
         return np.clip(self.specific_enthalpy_j_per_kg / self._fusion, 0.0, 1.0)
 
     @property
+    def effective_wax_mass_kg(self) -> float:
+        """Wax mass after any active capacity-degradation fault."""
+        if self._wax_capacity_factor != 1.0:
+            return self.wax_mass_kg * self._wax_capacity_factor
+        return self.wax_mass_kg
+
+    @property
     def stored_latent_heat_j(self) -> np.ndarray:
         """Per-cluster total latent heat currently banked in the wax."""
         return (
             np.sum(self.melt_fraction, axis=1)
-            * self.wax_mass_kg
+            * self.effective_wax_mass_kg
             * self._fusion[:, 0]
         )
 
@@ -242,6 +289,8 @@ class BatchedClusterThermalState:
         the wax could absorb this tick)."""
         u_eff = self.effective_utilization(utilization, frequency_ghz)
         ua = self.characterization.ua_at(u_eff)
+        if self._ua_scale != 1.0:
+            ua = ua * self._ua_scale
         exchange = ua * (self.zone_temperature_c - self.wax_temperature_c)
         return np.where(self.wax_enabled[:, None], exchange, 0.0)
 
@@ -276,19 +325,24 @@ class BatchedClusterThermalState:
             self.power_model.dynamic_range_w * u_eff
         )
 
+        zone_delta = self.characterization.zone_delta_at(u_eff)
+        if self._zone_delta_scale != 1.0:
+            zone_delta = zone_delta * self._zone_delta_scale
         target = (
-            self.inlet_temperature_c[:, None]
-            + self.inlet_offset_c
-            + self.characterization.zone_delta_at(u_eff)
+            self.inlet_temperature_c[:, None] + self.inlet_offset_c + zone_delta
         )
         blend = 1.0 - np.exp(-dt_s / self.characterization.zone_time_constant_s)
         self.zone_temperature_c += blend * (target - self.zone_temperature_c)
 
         ua = self.characterization.ua_at(u_eff)
+        if self._ua_scale != 1.0:
+            ua = ua * self._ua_scale
         exchange = ua * (self.zone_temperature_c - self.wax_temperature_c)
         wax_heat = np.where(self.wax_enabled[:, None], exchange, 0.0)
         self.specific_enthalpy_j_per_kg += np.where(
-            self.wax_enabled[:, None], wax_heat * dt_s / self.wax_mass_kg, 0.0
+            self.wax_enabled[:, None],
+            wax_heat * dt_s / self.effective_wax_mass_kg,
+            0.0,
         )
 
         return power, power - wax_heat, wax_heat
@@ -376,6 +430,24 @@ class ClusterThermalState:
     def stored_latent_heat_j(self) -> float:
         """Cluster-total latent heat currently banked in the wax."""
         return float(self._batched.stored_latent_heat_j[0])
+
+    def set_fault_scales(
+        self,
+        ua_scale: float = 1.0,
+        zone_delta_scale: float = 1.0,
+        wax_capacity_factor: float = 1.0,
+    ) -> None:
+        """Set fault-injection modifiers (see the batched form)."""
+        self._batched.set_fault_scales(
+            ua_scale=ua_scale,
+            zone_delta_scale=zone_delta_scale,
+            wax_capacity_factor=wax_capacity_factor,
+        )
+
+    @property
+    def effective_wax_mass_kg(self) -> float:
+        """Per-server wax mass after any fault-injected capacity fade."""
+        return self._batched.effective_wax_mass_kg
 
     def effective_utilization(
         self, utilization: np.ndarray, frequency_ghz: float

@@ -143,6 +143,84 @@ class ThermalLimitPolicy:
         )
 
 
+class FaultResponsePolicy:
+    """Graceful-degradation wrapper around any base throttling policy.
+
+    Reads the live effects off a :class:`~repro.faults.injector.
+    FaultInjector` (duck-typed via its ``current`` attribute, so this
+    module never imports :mod:`repro.faults`) and overrides the base
+    policy in two situations a real operations team would:
+
+    * **sensor dropout** — the telemetry feed is dead, so projections
+      from the observed work rate cannot be trusted. Fall back to the
+      safe setpoint: minimum DVFS frequency until the sensors return.
+    * **severe cooling loss** — the plant has lost more than
+      ``1 - emergency_capacity_factor`` of its capacity. Do not wait for
+      the room to drift over its limit: throttle to minimum frequency
+      immediately, shedding work if even that exceeds what is left of
+      the plant.
+
+    Everything else (including mild cooling derates, which the base
+    policy sees through the already-derated room capacity) delegates to
+    the base policy unchanged, so a run with no active fault is
+    decision-identical to running the base policy alone.
+    """
+
+    def __init__(
+        self,
+        base,
+        injector,
+        emergency_capacity_factor: float = 0.5,
+    ) -> None:
+        if not 0.0 <= emergency_capacity_factor <= 1.0:
+            raise ConfigurationError(
+                f"emergency capacity factor must be in [0, 1], got "
+                f"{emergency_capacity_factor}"
+            )
+        self.base = base
+        self.injector = injector
+        self.emergency_capacity_factor = emergency_capacity_factor
+
+    def reset(self) -> None:
+        """Clear the base policy's state between simulation runs."""
+        reset = getattr(self.base, "reset", None)
+        if callable(reset):
+            reset()
+
+    def _capacity_w(self) -> float | None:
+        """The (already fault-derated) plant capacity, if the base has one."""
+        room = getattr(self.base, "room", None)
+        if room is not None:
+            return room.cooling_capacity_w
+        return getattr(self.base, "capacity_w", None)
+
+    def decide(
+        self, state: ClusterThermalState, work_rate: np.ndarray
+    ) -> ThrottleDecision:
+        """Override on dropout or severe cooling loss; else delegate."""
+        effects = self.injector.current
+        if effects is None:
+            return self.base.decide(state, work_rate)
+        if effects.sensor_dropout:
+            return ThrottleDecision(
+                frequency_ghz=state.power_model.min_frequency_ghz,
+                limited=True,
+            )
+        if effects.cooling_capacity_factor < self.emergency_capacity_factor:
+            minimum = state.power_model.min_frequency_ghz
+            capacity = self._capacity_w()
+            if (
+                capacity is not None
+                and projected_release_w(state, work_rate, minimum) > capacity
+            ):
+                cap = _shed_cap(state, work_rate, minimum, capacity)
+                return ThrottleDecision(
+                    frequency_ghz=minimum, utilization_cap=cap, limited=True
+                )
+            return ThrottleDecision(frequency_ghz=minimum, limited=True)
+        return self.base.decide(state, work_rate)
+
+
 class RoomTemperaturePolicy:
     """Throttle on the *room* temperature of an oversubscribed datacenter.
 

@@ -36,6 +36,10 @@ class SimulationError(ReproError):
     """The datacenter simulator reached an inconsistent state."""
 
 
+class FaultError(ReproError):
+    """A fault schedule is malformed or a fault cannot be injected."""
+
+
 class ExperimentError(ReproError):
     """An experiment was requested that does not exist or cannot run."""
 

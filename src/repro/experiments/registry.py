@@ -94,6 +94,7 @@ _REGISTRY: dict[str, str] = {
     "fig9": "repro.experiments.fig9_ocp_layouts",
     "fig10": "repro.experiments.fig10_workload",
     "fig11": "repro.experiments.fig11_cooling_load",
+    "fig11_faults": "repro.experiments.fig11_faults",
     "fig12": "repro.experiments.fig12_throughput",
     "ablations": "repro.experiments.ablations",
     "extensions": "repro.experiments.extensions",

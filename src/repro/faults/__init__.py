@@ -1,0 +1,67 @@
+"""Deterministic fault injection for the datacenter simulator.
+
+Three layers:
+
+* :mod:`repro.faults.schedule` — declarative, seedable, JSON-round-
+  trippable fault schedules (what goes wrong, when, how hard);
+* :mod:`repro.faults.injector` — the runtime that applies a schedule to
+  a :class:`~repro.dcsim.simulator.DatacenterSimulator` tick by tick and
+  restores every touched knob on recovery;
+* :mod:`repro.faults.chaos` — the seeded chaos harness that generates
+  random schedules, checks the global invariants of
+  :mod:`repro.faults.invariants` after every run, and writes exact-
+  replay failure bundles.
+
+An injector holding an empty schedule is guaranteed byte-transparent:
+the simulation is bit-identical to one run with no injector at all.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    Violation,
+    check_energy_balance,
+    check_finite,
+    check_monotone_recovery,
+    check_state_of_charge,
+    identical_results,
+)
+from repro.faults.schedule import (
+    COOLING_LOSS,
+    FAN_DERATE,
+    FAULT_KINDS,
+    PCM_DEGRADATION,
+    POWER_CAP,
+    SCHEDULE_SCHEMA,
+    SENSOR_DROPOUT,
+    SENSOR_NOISE,
+    SERVER_OUTAGE,
+    SUPPLY_EXCURSION,
+    Fault,
+    FaultEffects,
+    FaultSchedule,
+    pcm_degradation_after,
+)
+
+__all__ = [
+    "COOLING_LOSS",
+    "FAN_DERATE",
+    "FAULT_KINDS",
+    "PCM_DEGRADATION",
+    "POWER_CAP",
+    "SCHEDULE_SCHEMA",
+    "SENSOR_DROPOUT",
+    "SENSOR_NOISE",
+    "SERVER_OUTAGE",
+    "SUPPLY_EXCURSION",
+    "Fault",
+    "FaultEffects",
+    "FaultInjector",
+    "FaultSchedule",
+    "Violation",
+    "check_energy_balance",
+    "check_finite",
+    "check_monotone_recovery",
+    "check_state_of_charge",
+    "identical_results",
+    "pcm_degradation_after",
+]

@@ -1,0 +1,211 @@
+"""The runtime that applies a :class:`FaultSchedule` to a simulation.
+
+A :class:`FaultInjector` is handed to
+:class:`~repro.dcsim.simulator.DatacenterSimulator` and driven by it at
+every thermal tick:
+
+1. :meth:`advance_to` resolves the schedule at the tick time, applies
+   plant-level effects (CRAC capacity derate), and tallies fault
+   counters into :mod:`repro.obs`;
+2. :meth:`apply_state` pushes thermal effects (supply-temperature
+   excursion, fan-derate UA/zone scaling, PCM capacity fade) onto the
+   cluster thermal state;
+3. :meth:`observe` corrupts the work-rate observations the throttling
+   policy sees (sensor dropout holds the last good reading; sensor noise
+   adds a seeded Gaussian stream);
+4. :meth:`constrain` clamps the policy's decision to any active power
+   cap.
+
+Every hook is a no-op returning its input untouched while no fault is
+active, and each touched knob (room capacity, inlet temperature, thermal
+scales) is restored on the first tick after its fault clears — recovery
+is effect removal, not bespoke per-fault code. An injector with an empty
+schedule therefore leaves the simulation byte-identical to running with
+no injector at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dcsim.throttling import ThrottleDecision
+from repro.errors import FaultError
+from repro.faults.schedule import (
+    COOLING_LOSS,
+    SENSOR_DROPOUT,
+    SENSOR_NOISE,
+    FaultEffects,
+    FaultSchedule,
+)
+from repro.obs import get_registry
+
+
+class FaultInjector:
+    """Applies a fault schedule to one simulation run.
+
+    The injector is stateful per run (noise streams, held sensor
+    readings, restoration flags); the simulator calls :meth:`reset` at
+    the start of every run so one injector can be reused across runs and
+    still replay identically.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultError(
+                f"expected a FaultSchedule, got {type(schedule).__name__}"
+            )
+        self.schedule = schedule
+        #: Effects at the current tick (``None`` = nothing active).
+        self.current: FaultEffects | None = None
+        kinds = schedule.kinds()
+        self._touches_capacity = COOLING_LOSS in kinds
+        self._touches_sensors = SENSOR_DROPOUT in kinds
+        self._noise_faults = tuple(
+            fault for fault in schedule.faults if fault.kind == SENSOR_NOISE
+        )
+        self.reset()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Prepare for a fresh run (fresh noise streams, clean flags)."""
+        self.current = None
+        self._now = 0.0
+        self._previously_active: set[str] = set()
+        self._room_base_capacity_w: float | None = None
+        self._held_observation: np.ndarray | None = None
+        self._inlet_dirty = False
+        self._scales_dirty = False
+        self._noise_rng = {
+            id(fault): np.random.default_rng(fault.seed)
+            for fault in self._noise_faults
+        }
+
+    # -- per-tick hooks ----------------------------------------------------
+
+    def advance_to(self, time_s: float, room=None) -> None:
+        """Resolve the schedule at a tick and apply plant-level effects."""
+        self.current = self.schedule.effects_at(time_s)
+        if self._touches_capacity and room is not None:
+            if self._room_base_capacity_w is None:
+                self._room_base_capacity_w = room.cooling_capacity_w
+            factor = (
+                self.current.cooling_capacity_factor
+                if self.current is not None
+                else 1.0
+            )
+            if factor != 1.0:
+                room.cooling_capacity_w = self._room_base_capacity_w * factor
+            else:
+                # Restore the exact pre-fault value, not base * 1.0.
+                room.cooling_capacity_w = self._room_base_capacity_w
+        self._count(time_s)
+
+    def apply_state(self, state, base_inlet_c: float) -> None:
+        """Push thermal effects onto a cluster thermal state.
+
+        ``base_inlet_c`` is the inlet the simulator would have set this
+        tick absent faults (the room temperature, or the configured cold
+        aisle); the excursion offset is applied on top of it, and the
+        inlet is restored to the base on the tick after the excursion
+        clears.
+        """
+        effects = self.current
+        delta = effects.inlet_delta_c if effects is not None else 0.0
+        if delta != 0.0 or self._inlet_dirty:
+            state.inlet_temperature_c = base_inlet_c + delta
+            self._inlet_dirty = delta != 0.0
+        if effects is not None:
+            scales = (
+                effects.ua_scale,
+                effects.zone_delta_scale,
+                effects.wax_capacity_factor,
+            )
+        else:
+            scales = (1.0, 1.0, 1.0)
+        if scales != (1.0, 1.0, 1.0) or self._scales_dirty:
+            state.set_fault_scales(*scales)
+            self._scales_dirty = scales != (1.0, 1.0, 1.0)
+
+    def observe(self, work_rate: np.ndarray) -> np.ndarray:
+        """The work-rate observation the policy receives this tick.
+
+        Returns ``work_rate`` itself (same object, no copy) when no
+        sensor fault is active. Noise is applied before dropout: a
+        dropout that begins during a noise window freezes the last noisy
+        reading, as a real stuck telemetry pipeline would.
+        """
+        effects = self.current
+        if effects is None or not (
+            effects.sensor_dropout or effects.sensor_noise_sigma > 0.0
+        ):
+            if self._touches_sensors:
+                self._held_observation = np.array(work_rate, copy=True)
+            return work_rate
+        observed = work_rate
+        if effects.sensor_noise_sigma > 0.0:
+            observed = np.array(work_rate, dtype=float, copy=True)
+            for fault in self._noise_faults:
+                # Each active noise fault draws from its own seeded
+                # stream, so overlapping events stay independently
+                # replayable.
+                if fault.active_at(self._now):
+                    observed += self._noise_rng[id(fault)].normal(
+                        0.0, fault.magnitude, size=observed.shape
+                    )
+            np.clip(observed, 0.0, None, out=observed)
+        if effects.sensor_dropout:
+            if self._held_observation is not None:
+                return self._held_observation
+            # Dropout from the very first tick: the policy has never seen
+            # a reading, so it observes a dead (all-zero) telemetry feed.
+            return np.zeros_like(np.asarray(work_rate, dtype=float))
+        if self._touches_sensors:
+            self._held_observation = np.array(observed, copy=True)
+        return observed
+
+    def constrain(self, decision: ThrottleDecision) -> ThrottleDecision:
+        """Clamp a policy decision to any active power cap."""
+        effects = self.current
+        if effects is None or effects.utilization_cap >= 1.0:
+            return decision
+        return ThrottleDecision(
+            frequency_ghz=decision.frequency_ghz,
+            utilization_cap=min(
+                decision.utilization_cap, effects.utilization_cap
+            ),
+            limited=True,
+        )
+
+    def offline_count(self, server_count: int) -> int:
+        """Servers offline this tick (the lowest-indexed ones).
+
+        Rounds down and never takes the whole cluster offline — a fault
+        study with zero survivors has no thermal story to tell.
+        """
+        effects = self.current
+        if effects is None or effects.offline_fraction <= 0.0:
+            return 0
+        offline = int(effects.offline_fraction * server_count)
+        return min(offline, server_count - 1)
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, time_s: float) -> None:
+        obs = get_registry()
+        self._now = time_s
+        active_kinds = {
+            fault.kind
+            for fault in self.schedule.faults
+            if fault.active_at(time_s)
+        }
+        if obs.enabled:
+            if active_kinds:
+                obs.count("faults.ticks_active")
+            for kind in active_kinds:
+                obs.count(f"faults.active.{kind}")
+            for kind in active_kinds - self._previously_active:
+                obs.count(f"faults.activated.{kind}")
+            for kind in self._previously_active - active_kinds:
+                obs.count(f"faults.recovered.{kind}")
+        self._previously_active = active_kinds

@@ -103,6 +103,31 @@ class FanBank:
         per_fan_flow = total_flow_m3_s / self.count
         return self.curve.pressure_at_flow(per_fan_flow, speed_fraction)
 
+    def with_failed_fans(self, failed: int) -> "FanBank":
+        """The bank with ``failed`` fans seized (used by fault injection).
+
+        A seized rotor in a parallel bank is treated as removed: the
+        survivors each still see the full system pressure, so the bank
+        is simply smaller. At least one fan must survive — a chassis
+        with zero moving fans has no forced-convection operating point.
+        """
+        if failed < 0:
+            raise ConfigurationError(
+                f"failed fan count must be non-negative, got {failed}"
+            )
+        if failed >= self.count:
+            raise ConfigurationError(
+                f"cannot fail {failed} of {self.count} fans: at least one "
+                "fan must survive"
+            )
+        if failed == 0:
+            return self
+        return FanBank(
+            curve=self.curve,
+            count=self.count - failed,
+            power_per_fan_w=self.power_per_fan_w,
+        )
+
 
 @dataclass(frozen=True)
 class SystemImpedance:
@@ -188,6 +213,28 @@ def operating_flow(
     free_flow = fans.max_flow_m3_s(speed_fraction)
     k = impedance.coefficient_pa_s2_per_m6
     return math.sqrt(max_pressure / (k + max_pressure / free_flow**2))
+
+
+def degraded_flow_fraction(
+    fans: FanBank,
+    impedance: SystemImpedance,
+    failed_fans: int = 0,
+    speed_fraction: float = 1.0,
+) -> float:
+    """Fraction of healthy full-speed flow a degraded bank still moves.
+
+    The physical anchor for the fault injector's fan-derate magnitude:
+    fail ``failed_fans`` rotors and/or slow the survivors to
+    ``speed_fraction``, re-intersect the (smaller, slower) bank with the
+    unchanged chassis impedance, and compare against the healthy
+    operating point. Always in ``(0, 1]``; exactly 1.0 when nothing is
+    degraded.
+    """
+    healthy = operating_flow(fans, impedance, 1.0)
+    degraded = operating_flow(
+        fans.with_failed_fans(failed_fans), impedance, speed_fraction
+    )
+    return degraded / healthy
 
 
 @dataclass

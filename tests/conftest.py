@@ -8,6 +8,8 @@ wall-clock.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -38,6 +40,21 @@ def pytest_addoption(parser):
 def update_golden(request):
     """True when the run should rewrite the golden files."""
     return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture
+def rng(request):
+    """Deterministic per-test RNG for tests that need arbitrary data.
+
+    Seeded from the test's node id, so every test draws a distinct but
+    fully reproducible stream, and renaming/moving a test is the only
+    way to change its data. Use this instead of ad-hoc
+    ``np.random.default_rng(<literal>)`` calls; tests asserting
+    *seed-specific* behaviour (e.g. replaying a recorded schedule)
+    should keep their explicit seeds.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)
 
 
 @pytest.fixture(scope="session")

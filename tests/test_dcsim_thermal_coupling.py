@@ -133,7 +133,7 @@ class TestClusterState:
 
 class TestAgainstScalarModel:
     def test_matches_lumped_server_model(
-        self, one_u_spec, one_u_characterization, material
+        self, one_u_spec, one_u_characterization, material, rng
     ):
         """The vectorized cluster state and the scalar LumpedServerModel
         implement the same physics; drive both identically and compare."""
@@ -146,7 +146,6 @@ class TestAgainstScalarModel:
             material,
             server_count=3,
         )
-        rng = np.random.default_rng(0)
         for _ in range(300):
             u = float(rng.uniform(0, 1))
             scalar_result = scalar.step(60.0, u)
@@ -160,7 +159,7 @@ class TestAgainstScalarModel:
 
 class TestBatchedClusterState:
     def test_batch_matches_serial_clusters_exactly(
-        self, one_u_spec, one_u_characterization
+        self, one_u_spec, one_u_characterization, rng
     ):
         """Stacking clusters along the leading axis performs the same
         arithmetic elementwise, so the batched state must reproduce
@@ -190,7 +189,6 @@ class TestBatchedClusterState:
             )
             for i in range(3)
         ]
-        rng = np.random.default_rng(11)
         for _ in range(200):
             utilization = rng.uniform(0.0, 1.0, size=8)
             stacked = np.tile(utilization, (3, 1))

@@ -16,6 +16,9 @@ from repro.experiments.export import export_result
 from repro.experiments.registry import run_experiment
 from repro.runner import ResultCache
 
+#: Four full experiment runs per session; fast-lane runs skip them.
+pytestmark = pytest.mark.slow
+
 EXPERIMENT = "fig7"
 
 

@@ -21,7 +21,7 @@ class TestRegistry:
         ids = all_experiment_ids()
         assert ids == [
             "table1", "table2", "fig1", "fig4", "fig7", "fig9", "fig10",
-            "fig11", "fig12", "ablations", "extensions",
+            "fig11", "fig11_faults", "fig12", "ablations", "extensions",
         ]
 
     def test_unknown_id_rejected(self):

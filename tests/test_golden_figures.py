@@ -21,6 +21,10 @@ import pytest
 
 from repro.experiments.registry import run_experiment
 
+#: Every test here runs experiments end-to-end; keep the whole module
+#: out of the fast lane (``-m "not slow"``).
+pytestmark = pytest.mark.slow
+
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: Every paper figure/table experiment (ablations/extensions are
@@ -34,6 +38,7 @@ GOLDEN_EXPERIMENTS = (
     "fig9",
     "fig10",
     "fig11",
+    "fig11_faults",
     "fig12",
 )
 

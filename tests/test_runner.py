@@ -232,6 +232,31 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get({"x": 1}) is MISS
 
+    def test_truncated_shard_counted_and_overwritable(self, tmp_path):
+        """A half-written shard (e.g. a crash mid-copy) must read as a
+        corrupt miss, bump the corrupt counter, and stay writable — the
+        next ``put`` atomically replaces the damaged file."""
+        cache = ResultCache(tmp_path)
+        spec = {"experiment": "fig9", "quick": True}
+        payload = {"values": [1.5, 2.5], "label": "ok"}
+        path = cache.put(spec, payload)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        enable()
+        reset()
+        try:
+            assert cache.get(spec) is MISS
+            assert cache.put(spec, payload) == path
+            recovered = cache.get(spec)
+            counters = snapshot().counters
+        finally:
+            disable()
+        _assert_payload_equal(recovered, payload)
+        assert counters["runner.cache.corrupt"] == 1
+        assert counters["runner.cache.miss"] == 1
+        assert counters["runner.cache.store"] == 1
+        assert counters["runner.cache.hit"] == 1
+
     def test_entry_count_and_contains(self, tmp_path):
         cache = ResultCache(tmp_path)
         assert cache.entry_count() == 0 and {"a": 1} not in cache

@@ -218,7 +218,7 @@ class TestHorizonSampling:
 
 
 class TestCompiledAgainstReference:
-    def test_compiled_rhs_matches_network_rhs(self, one_u_spec):
+    def test_compiled_rhs_matches_network_rhs(self, one_u_spec, rng):
         """The fast array evaluator and the readable dict evaluator must
         produce identical derivatives on a full chassis network."""
         from repro.server.chassis import constant_utilization
@@ -230,7 +230,6 @@ class TestCompiledAgainstReference:
         compiled = _CompiledNetwork(network)
         state = network.initial_state()
         # Perturb the state so flows are non-trivial.
-        rng = np.random.default_rng(3)
         state = state + rng.uniform(0, 5, size=state.shape)
         for time_s in (0.0, 1800.0, 7200.0):
             reference = network.state_derivative(state, time_s)

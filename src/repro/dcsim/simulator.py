@@ -20,7 +20,6 @@ matching the normalization of the paper's Figure 12.
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass
 
@@ -36,7 +35,7 @@ from repro.materials.pcm import PCMMaterial
 from repro.obs import get_registry
 from repro.server.characterization import PlatformCharacterization
 from repro.server.power import ServerPowerModel
-from repro.workload.jobs import Arrival, generate_arrivals
+from repro.workload.jobs import Arrival
 from repro.workload.trace import LoadTrace
 
 
@@ -50,11 +49,18 @@ class SimulationConfig:
     inlet_temperature_c: float = 25.0
     wax_enabled: bool = True
     seed: int = 7
+    #: Event-mode engine: "batched" (vectorized, the default) or
+    #: "reference" (per-event loop). Bit-identical; see docs/EVENTSIM.md.
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.mode not in ("fluid", "event"):
             raise ConfigurationError(
                 f"mode must be 'fluid' or 'event', got {self.mode!r}"
+            )
+        if self.engine not in ("batched", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'batched' or 'reference', got {self.engine!r}"
             )
         if self.tick_interval_s <= 0:
             raise ConfigurationError("tick interval must be positive")
@@ -86,6 +92,10 @@ class SimulationResult:
     completed_work_s: np.ndarray | None = None
     server_count: int = 0
     nominal_frequency_ghz: float | None = None
+    #: Cluster power at t=0, used to anchor energy integration at the run
+    #: start (tick times begin at ``dt``). Older recordings without it fall
+    #: back to the first tick's power.
+    initial_power_w: float | None = None
 
     @property
     def times_hours(self) -> np.ndarray:
@@ -108,8 +118,24 @@ class SimulationResult:
         return float(np.max(self.throughput))
 
     def energy_kwh(self) -> float:
-        """Total electrical energy of the run."""
-        return float(np.trapezoid(self.power_w, self.times_s)) / 3.6e6
+        """Total electrical energy of the run, integrated from t=0.
+
+        Tick times start at ``dt``, so integrating the tick arrays alone
+        would silently drop the first interval; a t=0 sample (the stored
+        initial power, or the first tick's power for older recordings) is
+        prepended to cover it.
+        """
+        times = self.times_s
+        power = self.power_w
+        if len(times) > 0 and times[0] > 0.0:
+            p0 = (
+                self.initial_power_w
+                if self.initial_power_w is not None
+                else power[0]
+            )
+            times = np.concatenate(([0.0], times))
+            power = np.concatenate(([p0], power))
+        return float(np.trapezoid(power, times)) / 3.6e6
 
     def throttled_mask(self) -> np.ndarray:
         """Ticks at which the cluster ran below nominal frequency.
@@ -301,174 +327,22 @@ class DatacenterSimulator:
             )
         get_registry().count("dcsim.throttle_ticks", throttle_ticks)
         self.final_state = state
-        return records.result(n_servers, self.power_model.nominal_frequency_ghz)
+        initial_u = float(np.clip(self.trace.value_at(0.0), 0.0, 1.0))
+        return records.result(
+            n_servers,
+            self.power_model.nominal_frequency_ghz,
+            initial_power_w=n_servers * self.power_model.wall_power_w(initial_u),
+        )
 
     # -- event mode -----------------------------------------------------------
 
     def _run_event(self) -> SimulationResult:
-        arrivals = self._arrivals
-        if arrivals is None:
-            arrivals = generate_arrivals(
-                self.trace,
-                server_count=self.topology.server_count,
-                slots_per_server=self.config.slots_per_server,
-                seed=self.config.seed,
-            )
-        state = self._make_state()
-        self.initial_specific_enthalpy_j_per_kg = np.array(
-            state.specific_enthalpy_j_per_kg, copy=True
-        )
-        self.load_balancer.reset()
-        injector = self.fault_injector
+        # The event engines (batched and per-event reference) live in
+        # repro.dcsim.event_engine; both share this simulator's per-tick
+        # policy/thermal machinery and are bit-identical by construction.
+        from repro.dcsim.event_engine import run_event_mode
 
-        n_servers = self.topology.server_count
-        slots = self.config.slots_per_server
-        dt = self.config.tick_interval_s
-        ticks = self._tick_times()
-        nominal = self.power_model.nominal_frequency_ghz
-
-        busy = np.zeros(n_servers, dtype=int)
-        busy_time = np.zeros(n_servers)  # slot-seconds this tick
-        queue: list[float] = []  # queued service works (FIFO)
-        queue_head = 0
-
-        # Work clock: completions live in work time; real time maps through
-        # the current throughput factor.
-        work_now = 0.0
-        # Heap entries: (completion work time, server index, service work).
-        completions: list[tuple[float, int, float]] = []
-        frequency = nominal
-        tf = 1.0
-
-        time_now = 0.0
-        arrival_index = 0
-        events_processed = 0
-        queue_high_water = 0
-        throttle_ticks = 0
-        records = _Recorder(len(ticks), n_servers)
-
-        def advance_to(t: float) -> None:
-            nonlocal time_now, work_now
-            if t < time_now - 1e-9:
-                raise SimulationError("event time went backwards")
-            span = t - time_now
-            busy_time[:] += busy * span
-            work_now += span * tf
-            time_now = t
-
-        # Shedding in event mode is enforced at dispatch: a utilization cap
-        # from the policy limits how many slots per server may be occupied,
-        # and the excess work queues instead of running.
-        slot_limit = slots
-
-        def dispatch(service_work: float) -> bool:
-            index = self.load_balancer.choose(busy, slot_limit)
-            if index is None:
-                return False
-            busy[index] += 1
-            heapq.heappush(
-                completions, (work_now + service_work, index, service_work)
-            )
-            return True
-
-        for tick_index, tick_time in enumerate(ticks):
-            if injector is not None:
-                # Faults resolve at tick granularity: effects at this
-                # tick's end apply to dispatch within the tick window.
-                injector.advance_to(tick_time, room=self.room)
-                self.load_balancer.set_offline(
-                    injector.offline_count(n_servers)
-                )
-            # Process arrivals and completions inside this tick.
-            while True:
-                next_arrival = (
-                    arrivals[arrival_index].time_s
-                    if arrival_index < len(arrivals)
-                    else np.inf
-                )
-                next_completion = (
-                    time_now + (completions[0][0] - work_now) / tf
-                    if completions
-                    else np.inf
-                )
-                next_event = min(next_arrival, next_completion)
-                if next_event >= tick_time:
-                    break
-                advance_to(next_event)
-                events_processed += 1
-                if next_completion <= next_arrival:
-                    _work_at, server, service_work = heapq.heappop(completions)
-                    busy[server] -= 1
-                    if busy[server] < 0:
-                        raise SimulationError("negative slot occupancy")
-                    records.add_completed(tick_index, service_work)
-                    if queue_head < len(queue):
-                        if dispatch(queue[queue_head]):
-                            queue_head += 1
-                else:
-                    arrival = arrivals[arrival_index]
-                    arrival_index += 1
-                    if not dispatch(arrival.service_time_s):
-                        queue.append(arrival.service_time_s)
-                        depth = len(queue) - queue_head
-                        if depth > queue_high_water:
-                            queue_high_water = depth
-
-            advance_to(tick_time)
-
-            utilization = busy_time / (dt * slots)
-            busy_time[:] = 0.0
-            self._pre_tick(state)
-            if injector is not None:
-                injector.apply_state(state, base_inlet_c=self._base_inlet_c())
-            # Offered work rate this tick: busy fraction times the current
-            # per-slot service rate.
-            work_rate = utilization * tf
-            if injector is not None:
-                work_rate = injector.observe(work_rate)
-            decision = self.policy.decide(state, work_rate)
-            if injector is not None:
-                decision = injector.constrain(decision)
-            if decision.limited:
-                throttle_ticks += 1
-            frequency = decision.frequency_ghz
-            tf = self.power_model.throughput_factor(frequency)
-            if decision.utilization_cap < 1.0:
-                slot_limit = max(
-                    0, int(np.floor(decision.utilization_cap * slots + 1e-9))
-                )
-            else:
-                slot_limit = slots
-
-            power, release, wax = state.step(dt, np.clip(utilization, 0, 1), frequency)
-            room_temp = self._post_tick(float(np.sum(release)), dt)
-            demand = float(np.clip(self.trace.value_at(tick_time - 0.5 * dt), 0, 1))
-            records.store(
-                tick_index,
-                time_s=tick_time,
-                demand=demand,
-                utilization=float(np.mean(utilization)),
-                frequency=frequency,
-                power=float(np.sum(power)),
-                release=float(np.sum(release)),
-                wax=float(np.sum(wax)),
-                melt=float(np.mean(state.melt_fraction)),
-                # Work is credited continuously (busy slots x DVFS rate);
-                # discrete completions are recorded separately as a
-                # conservation cross-check.
-                throughput=float(np.mean(np.clip(utilization, 0, 1))) * tf,
-                queue=float(len(queue) - queue_head),
-                # Event mode queues saturated work rather than shedding it.
-                shed=0.0,
-                room=room_temp,
-            )
-        obs = get_registry()
-        if obs.enabled:
-            obs.count("dcsim.events", events_processed)
-            obs.count("dcsim.throttle_ticks", throttle_ticks)
-            obs.record_max("dcsim.queue_high_water", queue_high_water)
-        self.final_state = state
-        return records.result(n_servers, nominal)
+        return run_event_mode(self)
 
 
 class _Recorder:
@@ -491,9 +365,6 @@ class _Recorder:
 
     def add_completed(self, tick_index: int, work: float) -> None:
         self._completed[tick_index] += work
-
-    def completed_this_tick(self, tick_index: int) -> float:
-        return self._completed[tick_index]
 
     def store(
         self,
@@ -525,7 +396,10 @@ class _Recorder:
         self.room[i] = room
 
     def result(
-        self, server_count: int, nominal_frequency_ghz: float | None = None
+        self,
+        server_count: int,
+        nominal_frequency_ghz: float | None = None,
+        initial_power_w: float | None = None,
     ) -> SimulationResult:
         return SimulationResult(
             times_s=self.times,
@@ -543,4 +417,5 @@ class _Recorder:
             completed_work_s=self._completed,
             server_count=server_count,
             nominal_frequency_ghz=nominal_frequency_ghz,
+            initial_power_w=initial_power_w,
         )

@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -85,6 +85,10 @@ class ChaosConfig:
     duration_s: float = hours(36.0)
     tick_interval_s: float = 60.0
     mode: str = "fluid"
+    #: Event-mode engine under test; ignored in fluid mode. Defaults to
+    #: the simulator's default so bundles written before the field
+    #: existed replay with unchanged behaviour.
+    engine: str = "batched"
     #: Plant capacity as a fraction of the nominal (unfaulted) peak
     #: cooling load — slightly oversubscribed so faults actually bite.
     oversubscription: float = 0.95
@@ -109,6 +113,10 @@ class ChaosConfig:
             )
         if self.server_count < 2:
             raise FaultError("chaos cluster needs at least 2 servers")
+        if self.engine not in ("batched", "reference"):
+            raise FaultError(
+                f"engine must be 'batched' or 'reference', got {self.engine!r}"
+            )
         if not 0.0 < self.oversubscription <= 1.0:
             raise FaultError("oversubscription must be in (0, 1]")
         if self.max_faults < 1:
@@ -234,6 +242,7 @@ def _sim_config(config: ChaosConfig, wax_enabled: bool = True) -> SimulationConf
         mode=config.mode,
         tick_interval_s=config.tick_interval_s,
         wax_enabled=wax_enabled,
+        engine=config.engine,
     )
 
 
@@ -418,6 +427,30 @@ def check_transparency(config: ChaosConfig | None = None) -> bool:
     return identical_results(plain, empty)
 
 
+def check_engine_agreement(
+    config: ChaosConfig | None = None, seed: int = 0
+) -> bool:
+    """Whether both event engines produce bit-identical faulted runs.
+
+    Runs the harness scenario under a seeded fault schedule twice — once
+    on the batched engine, once on the per-event reference — and compares
+    every trace bitwise. This is the event-engine equivalence acceptance
+    gate under fault injection (offline servers, power caps, and queue
+    backlogs all stress the engines' shared dispatch semantics).
+    """
+    config = config or ChaosConfig(mode="event")
+    if config.mode != "event":
+        config = replace(config, mode="event")
+    schedule = random_schedule(seed, config)
+    results = [
+        build_simulator(
+            replace(config, engine=engine), FaultInjector(schedule)
+        ).run()
+        for engine in ("batched", "reference")
+    ]
+    return identical_results(*results)
+
+
 # -- failure bundles ---------------------------------------------------------
 
 
@@ -512,11 +545,20 @@ def main(argv: list[str] | None = None) -> int:
     config = ChaosConfig(mode=args.mode)
 
     failures = 0
+    extra_checks = 0
     if not args.skip_transparency:
+        extra_checks += 1
         if check_transparency(config):
             print("transparency: ok (empty schedule is byte-identical)")
         else:
             print("transparency: FAILED (empty schedule altered the run)")
+            failures += 1
+    if args.mode == "event":
+        extra_checks += 1
+        if check_engine_agreement(config, seed=args.seed_start):
+            print("engine agreement: ok (batched == reference, faulted)")
+        else:
+            print("engine agreement: FAILED (batched != reference)")
             failures += 1
 
     seeds = range(args.seed_start, args.seed_start + args.seeds)
@@ -524,7 +566,7 @@ def main(argv: list[str] | None = None) -> int:
         print(run.describe())
         if not run.ok:
             failures += 1
-    total = args.seeds + (0 if args.skip_transparency else 1)
+    total = args.seeds + extra_checks
     print(f"{total - failures}/{total} checks passed")
     return 1 if failures else 0
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 from dataclasses import dataclass
 
 from repro.errors import FaultError
@@ -265,6 +266,11 @@ def _combine(effects: list[FaultEffects]) -> FaultEffects:
         offline = max(offline, e.offline_fraction)
         dropout = dropout or e.sensor_dropout
         noise_var += e.sensor_noise_sigma**2
+    # Every factor is strictly positive, but a *product* of denormal-small
+    # factors can underflow to exactly 0.0, breaking the model's
+    # strict-positivity invariants; floor at the smallest normal float.
+    ua = max(ua, sys.float_info.min)
+    wax = max(wax, sys.float_info.min)
     return FaultEffects(
         inlet_delta_c=inlet,
         cooling_capacity_factor=capacity,

@@ -13,11 +13,14 @@ rate ``lambda(t) = u(t) * n * slots / s``.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.obs import get_registry
 from repro.workload.trace import LoadTrace
 
 
@@ -123,3 +126,194 @@ def generate_arrivals(
             Arrival(time_s=float(time_now), job_class=job_class, service_time_s=service)
         )
     return arrivals
+
+
+# ---------------------------------------------------------------------------
+# Cached arrival streams
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrivalStream:
+    """A job arrival stream as typed column arrays.
+
+    The array form of ``list[Arrival]`` consumed by the event engine:
+    parallel float64/int64 columns of arrival time, service work, and job
+    class index into ``job_classes``.
+    """
+
+    times_s: np.ndarray
+    service_s: np.ndarray
+    class_index: np.ndarray
+    job_classes: tuple[JobClass, ...]
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    def to_arrivals(self) -> list[Arrival]:
+        """Materialize the stream back into :class:`Arrival` objects."""
+        return [
+            Arrival(
+                time_s=float(t),
+                job_class=self.job_classes[int(c)],
+                service_time_s=float(s),
+            )
+            for t, s, c in zip(self.times_s, self.service_s, self.class_index)
+        ]
+
+
+def coerce_arrival_stream(arrivals) -> ArrivalStream:
+    """Column-array view of an arrival list (no-op for streams)."""
+    if isinstance(arrivals, ArrivalStream):
+        return arrivals
+    classes: list[JobClass] = []
+    class_to_index: dict[JobClass, int] = {}
+    indices = np.empty(len(arrivals), dtype=np.int64)
+    times = np.empty(len(arrivals), dtype=np.float64)
+    services = np.empty(len(arrivals), dtype=np.float64)
+    for i, arrival in enumerate(arrivals):
+        index = class_to_index.get(arrival.job_class)
+        if index is None:
+            index = len(classes)
+            class_to_index[arrival.job_class] = index
+            classes.append(arrival.job_class)
+        indices[i] = index
+        times[i] = arrival.time_s
+        services[i] = arrival.service_time_s
+    return ArrivalStream(
+        times_s=times,
+        service_s=services,
+        class_index=indices,
+        job_classes=tuple(classes),
+    )
+
+
+def trace_fingerprint(trace: LoadTrace) -> str:
+    """SHA-256 over the trace's sample arrays (name-independent)."""
+    digest = hashlib.sha256()
+    for array in (trace.times_s, trace.values):
+        data = np.ascontiguousarray(array, dtype=np.float64)
+        digest.update(str(len(data)).encode())
+        digest.update(b"|")
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+def arrival_stream_spec(
+    trace: LoadTrace,
+    server_count: int,
+    slots_per_server: int,
+    job_classes: tuple[JobClass, ...],
+    seed: int,
+    deterministic_service: bool,
+) -> dict:
+    """Content-addressable cache key of one arrival stream."""
+    return {
+        "schema": "repro.dcsim.arrivals/1",
+        "trace": trace_fingerprint(trace),
+        "server_count": int(server_count),
+        "slots_per_server": int(slots_per_server),
+        "job_classes": [
+            [jc.name, jc.service_time_s, jc.weight] for jc in job_classes
+        ],
+        "seed": int(seed),
+        "deterministic_service": bool(deterministic_service),
+    }
+
+
+#: In-process memo of recently generated streams (a 263k-job day is ~6 MB,
+#: so the memo is kept small and LRU-evicted).
+_STREAM_MEMO: OrderedDict[str, ArrivalStream] = OrderedDict()
+_STREAM_MEMO_LIMIT = 8
+
+
+def clear_arrival_memo() -> None:
+    """Drop the in-process arrival-stream memo (tests, memory pressure)."""
+    _STREAM_MEMO.clear()
+
+
+def cached_arrival_stream(
+    trace: LoadTrace,
+    server_count: int,
+    slots_per_server: int = 1,
+    job_classes: tuple[JobClass, ...] = DEFAULT_JOB_CLASSES,
+    seed: int = 7,
+    deterministic_service: bool = False,
+    cache=None,
+) -> ArrivalStream:
+    """Memoized :func:`generate_arrivals` as an :class:`ArrivalStream`.
+
+    Generation is deterministic in the key (trace fingerprint, cluster
+    shape, seed, job-class mix), so repeated sweep arms reuse the stream
+    instead of re-running Ogata thinning. Lookup order: in-process LRU
+    memo, then an optional :class:`repro.runner.ResultCache` (``cache``
+    accepts anything :func:`repro.runner.resolve_cache` does — by default
+    the ``REPRO_CACHE_DIR`` environment toggle). Hits and misses are
+    counted under ``dcsim.arrival_cache.*``.
+    """
+    from repro.runner.cache import MISS, resolve_cache
+
+    obs = get_registry()
+    spec = arrival_stream_spec(
+        trace, server_count, slots_per_server, job_classes, seed,
+        deterministic_service,
+    )
+    memo_key = repr(sorted(spec.items()))
+    memo_hit = _STREAM_MEMO.get(memo_key)
+    if memo_hit is not None:
+        _STREAM_MEMO.move_to_end(memo_key)
+        obs.count("dcsim.arrival_cache.hit")
+        obs.count("dcsim.arrival_cache.memo_hit")
+        return memo_hit
+
+    disk = resolve_cache(cache)
+    if disk is not None:
+        payload = disk.get(spec)
+        if payload is not MISS:
+            stream = ArrivalStream(
+                times_s=np.asarray(payload["times_s"], dtype=np.float64),
+                service_s=np.asarray(payload["service_s"], dtype=np.float64),
+                class_index=np.asarray(payload["class_index"], dtype=np.int64),
+                job_classes=tuple(job_classes),
+            )
+            obs.count("dcsim.arrival_cache.hit")
+            _memoize(memo_key, stream)
+            return stream
+
+    obs.count("dcsim.arrival_cache.miss")
+    arrivals = generate_arrivals(
+        trace,
+        server_count=server_count,
+        slots_per_server=slots_per_server,
+        job_classes=job_classes,
+        seed=seed,
+        deterministic_service=deterministic_service,
+    )
+    class_to_index = {jc: i for i, jc in enumerate(job_classes)}
+    stream = ArrivalStream(
+        times_s=np.array([a.time_s for a in arrivals], dtype=np.float64),
+        service_s=np.array([a.service_time_s for a in arrivals], dtype=np.float64),
+        class_index=np.array(
+            [class_to_index[a.job_class] for a in arrivals], dtype=np.int64
+        ),
+        job_classes=tuple(job_classes),
+    )
+    if disk is not None:
+        disk.put(
+            spec,
+            {
+                "times_s": stream.times_s,
+                "service_s": stream.service_s,
+                "class_index": stream.class_index,
+            },
+        )
+        obs.count("dcsim.arrival_cache.store")
+    _memoize(memo_key, stream)
+    return stream
+
+
+def _memoize(key: str, stream: ArrivalStream) -> None:
+    _STREAM_MEMO[key] = stream
+    _STREAM_MEMO.move_to_end(key)
+    while len(_STREAM_MEMO) > _STREAM_MEMO_LIMIT:
+        _STREAM_MEMO.popitem(last=False)

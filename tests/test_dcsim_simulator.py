@@ -297,8 +297,11 @@ class TestResultAPI:
             queue_length=np.zeros(60),
             shed_work=np.zeros(60),
         )
-        # 3.6 kW for ~59 minutes of integration span.
-        assert result.energy_kwh() == pytest.approx(3.54, abs=0.01)
+        # 3.6 kW for the full hour: the integration prepends a t=0 sample
+        # (first tick's power when no initial power is recorded), so the
+        # first interval is no longer dropped. The old golden was 3.54 —
+        # 59 minutes — from integrating the tick times alone.
+        assert result.energy_kwh() == pytest.approx(3.60, abs=0.01)
 
     def test_times_hours(self):
         times = np.array([3600.0, 7200.0])

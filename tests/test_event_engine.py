@@ -1,0 +1,317 @@
+"""Equivalence and property tests for the event-engine rewrite.
+
+The batched engine's contract is *bit-identity*: for any workload,
+policy, balancer, and fault schedule, it must produce byte-identical
+result traces and final enthalpies to the per-event reference loop.
+These tests drive both engines over hypothesis-generated scenarios (with
+the vectorized path forced on, so small test clusters actually exercise
+the mega-pass machinery) and check the typed event queue against a plain
+heap.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.dcsim.event_engine as ee
+from repro.dcsim.cluster import ClusterTopology
+from repro.dcsim.event_engine import TypedEventQueue
+from repro.dcsim.loadbalancer import LeastLoaded, RoundRobin
+from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import identical_results
+from repro.faults.schedule import Fault, FaultSchedule
+from repro.materials.library import commercial_paraffin_with_melting_point
+from repro.server.characterization import characterize_platform
+from repro.server.configs import one_u_commodity
+from repro.workload.trace import LoadTrace
+
+SPEC = one_u_commodity()
+CHARACTERIZATION = characterize_platform(SPEC)
+MATERIAL = commercial_paraffin_with_melting_point(43.0)
+
+
+def _trace(levels, duration_s):
+    n = len(levels)
+    times = np.linspace(0.0, duration_s, n)
+    return LoadTrace(times, np.asarray(levels, dtype=float))
+
+
+def _run(engine, *, levels, duration_s, servers, seed, balancer, schedule):
+    simulator = DatacenterSimulator(
+        CHARACTERIZATION,
+        SPEC.power_model,
+        MATERIAL,
+        _trace(levels, duration_s),
+        topology=ClusterTopology(server_count=servers),
+        load_balancer={"rr": RoundRobin, "ll": LeastLoaded}[balancer](),
+        config=SimulationConfig(mode="event", wax_enabled=True, seed=seed,
+                                engine=engine),
+        fault_injector=(
+            FaultInjector(schedule) if schedule is not None else None
+        ),
+    )
+    result = simulator.run()
+    return result, np.array(
+        simulator.final_state.specific_enthalpy_j_per_kg, copy=True
+    )
+
+
+def _assert_engines_agree(**kwargs):
+    batched, enthalpy_b = _run("batched", **kwargs)
+    reference, enthalpy_r = _run("reference", **kwargs)
+    assert identical_results(batched, reference)
+    assert np.array_equal(enthalpy_b, enthalpy_r)
+
+
+@pytest.fixture
+def force_vectorized(monkeypatch):
+    """Push every tick down the mega-pass path regardless of size.
+
+    Test clusters are tiny, so without this the size and occupancy gates
+    would route everything to the scalar loop and the vectorized commit
+    logic would go untested.
+    """
+    monkeypatch.setattr(ee, "_VECTOR_MIN", 0)
+    monkeypatch.setattr(ee, "_VECTOR_OCCUPANCY", 1.0)
+    monkeypatch.setattr(ee, "_SCALAR_HOLD", 0)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        data=st.data(),
+        servers=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=4),
+        balancer=st.sampled_from(["rr", "ll"]),
+        outage=st.booleans(),
+    )
+    def test_bit_identical_traces(self, data, servers, seed, balancer, outage):
+        # Patch inside the example (not a fixture) so hypothesis's
+        # per-example reuse of the test context stays sound.
+        saved = (ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD)
+        ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD = 0, 1.0, 0
+        try:
+            levels = data.draw(
+                st.lists(
+                    st.floats(min_value=0.05, max_value=1.0),
+                    min_size=2,
+                    max_size=5,
+                )
+            )
+            schedule = None
+            if outage:
+                schedule = FaultSchedule(
+                    faults=(
+                        Fault(
+                            kind="server_outage",
+                            start_s=600.0,
+                            end_s=2400.0,
+                            magnitude=0.5,
+                        ),
+                        Fault(
+                            kind="power_cap",
+                            start_s=1200.0,
+                            end_s=3000.0,
+                            magnitude=0.4,
+                        ),
+                    ),
+                    name="equiv",
+                )
+            _assert_engines_agree(
+                levels=levels,
+                duration_s=3600.0,
+                servers=servers,
+                seed=seed,
+                balancer=balancer,
+                schedule=schedule,
+            )
+        finally:
+            ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD = saved
+
+    def test_saturating_burst_queues_identically(self, force_vectorized):
+        # A burst over capacity exercises the FIFO queue, the bulk-queue
+        # stretch, and the chunk path's saturation bail-out.
+        _assert_engines_agree(
+            levels=[0.2, 1.0, 1.0, 0.1],
+            duration_s=7200.0,
+            servers=3,
+            seed=1,
+            balancer="rr",
+            schedule=None,
+        )
+
+    def test_default_gates_also_agree(self):
+        # No forcing: the production gate routing (size, occupancy,
+        # degenerate hold) must make the same traces too.
+        _assert_engines_agree(
+            levels=[0.3, 0.8, 0.5],
+            duration_s=7200.0,
+            servers=8,
+            seed=2,
+            balancer="rr",
+            schedule=None,
+        )
+
+    def test_least_loaded_always_scalar_but_identical(self, force_vectorized):
+        _assert_engines_agree(
+            levels=[0.4, 0.9, 0.3],
+            duration_s=3600.0,
+            servers=5,
+            seed=3,
+            balancer="ll",
+            schedule=None,
+        )
+
+
+class TestEngineKnob:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(mode="event", engine="warp")
+
+    def test_counts_engine_choice(self):
+        from repro.obs import get_registry
+
+        obs = get_registry()
+        was_enabled = obs.enabled
+        obs.enable()
+        obs.reset()
+        try:
+            _run(
+                "reference",
+                levels=[0.3, 0.3],
+                duration_s=600.0,
+                servers=2,
+                seed=0,
+                balancer="rr",
+                schedule=None,
+            )
+            counters = obs.snapshot().counters
+            assert counters["dcsim.engine.reference"] == 1
+        finally:
+            obs.reset()
+            if not was_enabled:
+                obs.disable()
+
+
+class TestTypedEventQueue:
+    """The typed store must behave exactly like a tuple heap."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.integers(min_value=0, max_value=31),
+                st.floats(min_value=1e-3, max_value=1e4),
+            ),
+            max_size=200,
+        ),
+        data=st.data(),
+    )
+    def test_interleaved_push_pop_matches_heap(self, events, data):
+        queue = TypedEventQueue()
+        heap = []
+        pending = list(events)
+        while pending or heap:
+            if pending and (not heap or data.draw(st.booleans())):
+                batch = pending[: data.draw(st.integers(1, 8))]
+                del pending[: len(batch)]
+                w, s, v = (np.array(c) for c in zip(*batch))
+                queue.push_batch(
+                    w.astype(np.float64),
+                    s.astype(np.int64),
+                    v.astype(np.float64),
+                )
+                for item in batch:
+                    heapq.heappush(heap, item)
+            else:
+                assert queue.peek() == heap[0]
+                assert queue.pop() == heapq.heappop(heap)
+            assert len(queue) == len(heap)
+        assert queue.peek() is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=1e-3, max_value=1e3),
+            ),
+            max_size=120,
+        ),
+        cut=st.floats(min_value=0.0, max_value=1.2e4),
+    )
+    def test_pop_runs_until_splits_at_the_cut(self, events, cut):
+        queue = TypedEventQueue()
+        for w, s, v in events:
+            queue.push(w, s, v)
+        # Identity anchors (t0=0, w0=0, tf=1) make the work cut equal the
+        # time cut, so the expected split is a plain filter.
+        w_pop, s_pop, v_pop = queue.pop_runs_until(
+            0.0, 0.0, 1.0, cut, inclusive=False
+        )
+        expected = sorted(e for e in events if e[0] < cut)
+        got = sorted(zip(w_pop.tolist(), s_pop.tolist(), v_pop.tolist()))
+        assert got == expected
+        assert len(queue) == len(events) - len(expected)
+        remaining = sorted(e for e in events if e[0] >= cut)
+        drained = sorted(
+            queue.pop() for _ in range(len(queue))
+        )
+        assert drained == remaining
+
+    def test_drain_to_pending_preserves_contents(self):
+        queue = TypedEventQueue()
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0, 100, size=50)
+        queue.push_batch(
+            w, rng.integers(0, 4, size=50), rng.uniform(1, 10, size=50)
+        )
+        queue.push(5.0, 1, 2.0)
+        queue.drain_to_pending()
+        assert not queue._runs
+        drained = [queue.pop() for _ in range(len(queue))]
+        assert drained == sorted(drained)
+        assert len(drained) == 51
+
+
+class TestQueueCompaction:
+    def test_compaction_does_not_change_behaviour(self, monkeypatch):
+        # Force compaction after every few consumed entries on one arm;
+        # the runs must stay bit-identical.
+        kwargs = dict(
+            levels=[0.2, 1.0, 1.0, 0.2],
+            duration_s=7200.0,
+            servers=2,
+            seed=4,
+            balancer="rr",
+            schedule=None,
+        )
+        eager, enthalpy_e = None, None
+        monkeypatch.setattr(ee, "QUEUE_COMPACT_THRESHOLD", 2)
+        eager, enthalpy_e = _run("batched", **kwargs)
+        monkeypatch.setattr(ee, "QUEUE_COMPACT_THRESHOLD", 1 << 30)
+        lazy, enthalpy_l = _run("batched", **kwargs)
+        assert identical_results(eager, lazy)
+        assert np.array_equal(enthalpy_e, enthalpy_l)
+
+    def test_consumed_prefix_is_compacted(self, force_vectorized, monkeypatch):
+        monkeypatch.setattr(ee, "QUEUE_COMPACT_THRESHOLD", 4)
+        # Saturate a tiny cluster so the FIFO queue builds a backlog,
+        # then verify the consumed prefix never grows past the threshold.
+        result, _ = _run(
+            "batched",
+            levels=[1.0, 1.0, 0.05],
+            duration_s=7200.0,
+            servers=2,
+            seed=5,
+            balancer="rr",
+            schedule=None,
+        )
+        assert result.queue_length.max() > 0

@@ -97,3 +97,99 @@ class TestArrivalGeneration:
         trace = LoadTrace(times, np.array([0.0, 0.0]))
         with pytest.raises(WorkloadError):
             generate_arrivals(trace, server_count=10)
+
+
+class TestCachedArrivalStream:
+    @pytest.fixture(autouse=True)
+    def _fresh_state(self):
+        from repro.obs import get_registry
+        from repro.workload.jobs import clear_arrival_memo
+
+        obs = get_registry()
+        was_enabled = obs.enabled
+        obs.enable()
+        obs.reset()
+        clear_arrival_memo()
+        yield
+        clear_arrival_memo()
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    @staticmethod
+    def _counters():
+        from repro.obs import get_registry
+
+        return get_registry().snapshot().counters
+
+    def test_matches_direct_generation(self):
+        from repro.workload.jobs import cached_arrival_stream
+
+        trace = flat_trace(0.4, duration=3600.0)
+        stream = cached_arrival_stream(trace, server_count=8, seed=3, cache=False)
+        direct = generate_arrivals(trace, server_count=8, seed=3)
+        assert len(stream) == len(direct)
+        assert np.array_equal(stream.times_s, [a.time_s for a in direct])
+        assert np.array_equal(stream.service_s, [a.service_time_s for a in direct])
+
+    def test_second_call_hits_memo_and_skips_generation(self, monkeypatch):
+        import repro.workload.jobs as jobs
+
+        trace = flat_trace(0.4, duration=3600.0)
+        first = jobs.cached_arrival_stream(trace, server_count=8, seed=3, cache=False)
+        counters = self._counters()
+        assert counters["dcsim.arrival_cache.miss"] == 1
+        assert "dcsim.arrival_cache.hit" not in counters
+
+        def boom(*args, **kwargs):
+            raise AssertionError("generate_arrivals must not run on a hit")
+
+        monkeypatch.setattr(jobs, "generate_arrivals", boom)
+        second = jobs.cached_arrival_stream(trace, server_count=8, seed=3, cache=False)
+        assert second is first
+        counters = self._counters()
+        assert counters["dcsim.arrival_cache.hit"] == 1
+        assert counters["dcsim.arrival_cache.memo_hit"] == 1
+        assert counters["dcsim.arrival_cache.miss"] == 1
+
+    def test_disk_cache_survives_memo_clear(self, tmp_path, monkeypatch):
+        import repro.workload.jobs as jobs
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(tmp_path, salt="test")
+        trace = flat_trace(0.4, duration=3600.0)
+        first = jobs.cached_arrival_stream(trace, server_count=8, seed=3, cache=cache)
+        assert self._counters()["dcsim.arrival_cache.store"] == 1
+        jobs.clear_arrival_memo()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("generate_arrivals must not run on a disk hit")
+
+        monkeypatch.setattr(jobs, "generate_arrivals", boom)
+        second = jobs.cached_arrival_stream(trace, server_count=8, seed=3, cache=cache)
+        assert second is not first
+        assert np.array_equal(second.times_s, first.times_s)
+        assert np.array_equal(second.service_s, first.service_s)
+        assert np.array_equal(second.class_index, first.class_index)
+        counters = self._counters()
+        assert counters["dcsim.arrival_cache.hit"] == 1
+        assert "dcsim.arrival_cache.memo_hit" not in counters
+
+    def test_key_distinguishes_cluster_shape_and_seed(self):
+        from repro.workload.jobs import arrival_stream_spec
+
+        trace = flat_trace(0.4, duration=3600.0)
+        base = arrival_stream_spec(trace, 8, 1, DEFAULT_JOB_CLASSES, 3, False)
+        assert base != arrival_stream_spec(trace, 9, 1, DEFAULT_JOB_CLASSES, 3, False)
+        assert base != arrival_stream_spec(trace, 8, 2, DEFAULT_JOB_CLASSES, 3, False)
+        assert base != arrival_stream_spec(trace, 8, 1, DEFAULT_JOB_CLASSES, 4, False)
+        assert base != arrival_stream_spec(trace, 8, 1, DEFAULT_JOB_CLASSES, 3, True)
+        assert base == arrival_stream_spec(trace, 8, 1, DEFAULT_JOB_CLASSES, 3, False)
+
+    def test_memo_is_lru_bounded(self):
+        import repro.workload.jobs as jobs
+
+        trace = flat_trace(0.4, duration=600.0)
+        for seed in range(jobs._STREAM_MEMO_LIMIT + 3):
+            jobs.cached_arrival_stream(trace, server_count=4, seed=seed, cache=False)
+        assert len(jobs._STREAM_MEMO) == jobs._STREAM_MEMO_LIMIT

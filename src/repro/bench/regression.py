@@ -337,6 +337,87 @@ def _fig7_batched(quick: bool, jobs: int) -> Callable[[], object]:
     return lambda: blockage_sweep("1u", fractions)
 
 
+def _solver_backend_sparse(quick: bool, jobs: int) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.thermal.backends import SparseBackend
+    from repro.thermal.solver import _CompiledNetwork, stable_step_s
+    from repro.thermal.synthetic import RACK_SCALE_SERVERS, rack_scale_network
+
+    servers = 170 if quick else RACK_SCALE_SERVERS
+    network = rack_scale_network(servers=servers)
+    dense = _CompiledNetwork(network)
+    sparse = _CompiledNetwork(network)
+    sparse.set_backend(SparseBackend())
+    base = network.initial_state()
+    dt = stable_step_s(network)
+    n_steps = 10 if quick else 25
+    rng = np.random.default_rng(11)
+    stages = [
+        (0.0, base),
+        (0.5, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+        (0.5, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+        (1.0, base * (1.0 + 1e-4 * rng.standard_normal(base.shape))),
+    ]
+
+    n_chunks = 5
+    chunk_steps = max(1, n_steps // n_chunks)
+
+    def timed_chunk(evaluate, chunk: int) -> float:
+        start = time.perf_counter()
+        for step in range(chunk * chunk_steps, (chunk + 1) * chunk_steps):
+            t0 = step * dt
+            for offset, state in stages:
+                evaluate(state, t0 + offset * dt)
+        return time.perf_counter() - start
+
+    def run() -> dict[str, float]:
+        # Interleaved chunk timing, best-of-chunk per path — same
+        # protocol as solver_rhs, so scheduler noise cannot fake a
+        # backend speedup.
+        dense_chunks: list[float] = []
+        sparse_chunks: list[float] = []
+        for chunk in range(n_chunks):
+            dense_chunks.append(timed_chunk(dense.rhs, chunk))
+            sparse_chunks.append(timed_chunk(sparse.rhs, chunk))
+        dense_s = min(dense_chunks)
+        sparse_s = min(sparse_chunks)
+        evals = 4 * chunk_steps
+        speedup = dense_s / sparse_s if sparse_s > 0 else float("inf")
+        obs = get_registry()
+        if obs.enabled:
+            obs.count("solver.bench.backend_nodes", dense.n_state)
+            # Floored ratio, so the counter reads "at least Nx"; gated in
+            # the baseline only for the full-size network (the quick lane
+            # runs a smaller one and records nothing).
+            if not quick:
+                obs.count("solver.bench.sparse_speedup", int(speedup))
+                obs.count(
+                    "solver.bench.sparse_speedup_ge_3x", int(speedup >= 3.0)
+                )
+        return {
+            "dense_us_per_eval": dense_s / evals * 1e6,
+            "sparse_us_per_eval": sparse_s / evals * 1e6,
+            "speedup": speedup,
+        }
+
+    return run
+
+
+def _solver_backend_transient(quick: bool, jobs: int) -> Callable[[], object]:
+    from repro.thermal.solver import simulate_transient
+    from repro.thermal.synthetic import RACK_SCALE_SERVERS, rack_scale_network
+
+    servers = 170 if quick else RACK_SCALE_SERVERS
+    horizon = 900.0 if quick else 1800.0
+    network = rack_scale_network(servers=servers)
+    # backend="auto" must pick sparse here (the counters prove it: the
+    # scenario's solver.backend.sparse counter lands in the baseline).
+    return lambda: simulate_transient(
+        network, horizon, output_interval_s=450.0, backend="auto"
+    )
+
+
 #: The tier-2 suite, in execution order.
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
@@ -401,6 +482,21 @@ SCENARIOS: tuple[Scenario, ...] = (
         "one 19-point grille-blockage grid solved as a single batched "
         "steady-state call (the Fig 7 inner kernel)",
         _fig7_batched,
+    ),
+    Scenario(
+        "solver_backend_sparse",
+        "RK4-pattern derivative evaluations of the ~2.2k-node synthetic "
+        "rack network, dense NumPy backend then SciPy CSR; the speedup "
+        "lands in solver.bench.sparse_speedup (floored) and "
+        "solver.bench.sparse_speedup_ge_3x",
+        _solver_backend_sparse,
+    ),
+    Scenario(
+        "solver_backend_transient",
+        "an end-to-end transient of the synthetic rack network under "
+        "backend='auto' (the solver.backend.sparse counter proves the "
+        "auto threshold fired)",
+        _solver_backend_transient,
     ),
 )
 
@@ -635,6 +731,78 @@ def compare_reports(
     return comparison
 
 
+def render_markdown_summary(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> str:
+    """A baseline-drift table in GitHub-flavored markdown.
+
+    Written into ``$GITHUB_STEP_SUMMARY`` by the CI bench step so
+    regressions are readable in the job page without downloading the
+    ``BENCH_<sha>.json`` artifact. Status thresholds match
+    :func:`compare_reports` at the same tolerance.
+    """
+    lines = [
+        "## repro-bench vs baseline",
+        "",
+        f"Gate tolerance: +{tolerance:.0%} on best-of-repeats wall time "
+        f"(commit `{current.get('git_sha', '?')}` vs baseline "
+        f"`{baseline.get('git_sha', '?')}`).",
+        "",
+        "| scenario | baseline (ms) | current (ms) | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    for name in sorted(set(current_results) | set(baseline_results)):
+        cur = current_results.get(name)
+        base = baseline_results.get(name)
+        if cur is None:
+            lines.append(
+                f"| {name} | {float(base['min_s']) * 1e3:.1f} | — | — | "
+                f"**MISSING** |"
+            )
+            continue
+        if base is None:
+            lines.append(
+                f"| {name} | — | {float(cur['min_s']) * 1e3:.1f} | — | new |"
+            )
+            continue
+        base_s = float(base["min_s"])
+        cur_s = float(cur["min_s"])
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        if ratio > 1.0 + tolerance:
+            status = "**REGRESSION**"
+        elif ratio < 1.0 / (1.0 + tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"| {name} | {base_s * 1e3:.1f} | {cur_s * 1e3:.1f} | "
+            f"{ratio:.2f}x | {status} |"
+        )
+    drift_lines = []
+    for name in sorted(set(current_results) & set(baseline_results)):
+        base_counters = baseline_results[name].get("counters", {})
+        cur_counters = current_results[name].get("counters", {})
+        for counter in sorted(set(base_counters) | set(cur_counters)):
+            before = base_counters.get(counter)
+            after = cur_counters.get(counter)
+            if before != after:
+                drift_lines.append(
+                    f"- `{name}`: `{counter}` {before} → {after}"
+                )
+    lines.append("")
+    if drift_lines:
+        lines.append("### Counter drift")
+        lines.append("")
+        lines.extend(drift_lines)
+    else:
+        lines.append("No counter drift.")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI: run the suite, write the artifact, optionally gate."""
     parser = argparse.ArgumentParser(
@@ -693,6 +861,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="fail on any work-counter drift, not just slowdowns",
     )
     parser.add_argument(
+        "--markdown-summary",
+        default=None,
+        metavar="PATH",
+        help="append a markdown drift table to PATH (e.g. "
+        "$GITHUB_STEP_SUMMARY); requires --baseline",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -716,6 +891,22 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.markdown_summary and args.baseline is None:
+        print("--markdown-summary requires --baseline", file=sys.stderr)
+        return 2
+
+    # Load the gate baseline BEFORE any writes: with
+    # --update-baseline PATH --baseline PATH the old behaviour wrote the
+    # fresh report first and then gated the run against itself, which
+    # can never fail. Reading up front also fails fast on a missing
+    # baseline instead of after minutes of measurement.
+    baseline: dict[str, object] | None = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} does not exist", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
 
     print(f"running {len(names or SCENARIOS)} benchmark scenarios "
           f"({'quick' if args.quick else 'full'} mode)...")
@@ -734,20 +925,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"wrote {artifact}")
 
     if args.update_baseline:
-        baseline_path = Path(args.update_baseline)
-        baseline_path.parent.mkdir(parents=True, exist_ok=True)
-        baseline_path.write_text(
+        update_path = Path(args.update_baseline)
+        update_path.parent.mkdir(parents=True, exist_ok=True)
+        update_path.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"
         )
-        print(f"wrote baseline {baseline_path}")
+        print(f"wrote baseline {update_path}")
 
-    if args.baseline is None:
+    if baseline is None:
         return 0
-    baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"baseline {baseline_path} does not exist", file=sys.stderr)
-        return 2
-    baseline = json.loads(baseline_path.read_text())
     comparison = compare_reports(
         report,
         baseline,
@@ -755,6 +941,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         strict_counters=args.strict_counters,
     )
     print(comparison.render())
+    if args.markdown_summary:
+        summary_path = Path(args.markdown_summary)
+        summary_path.parent.mkdir(parents=True, exist_ok=True)
+        with summary_path.open("a") as handle:
+            handle.write(
+                render_markdown_summary(report, baseline, args.tolerance)
+            )
+        print(f"appended summary to {summary_path}")
     return 0 if comparison.ok else 1
 
 

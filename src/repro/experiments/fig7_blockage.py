@@ -57,14 +57,39 @@ def _solve_platform(
 
 
 def blockage_sweep(
-    platform: str, fractions: np.ndarray, jobs: int = 1
+    platform: str, fractions: np.ndarray, jobs: int = 1, backend: str = "auto"
 ) -> dict[str, np.ndarray]:
-    """Steady outlet and (hottest) CPU temperatures across a grille sweep."""
+    """Steady outlet and (hottest) CPU temperatures across a grille sweep.
+
+    ``backend`` is forwarded to
+    :func:`~repro.thermal.steady_state.solve_steady_state_batch`; chassis
+    networks are far below the sparse thresholds, so ``"auto"`` keeps the
+    bit-identical dict sweep.
+    """
     del jobs  # one batched solve; kept for call-site compatibility
-    outlet, cpu = _solve_platform(
-        (platform, tuple(float(fraction) for fraction in fractions))
-    )
-    return {"blockage": fractions, "outlet_c": outlet, "cpu_c": cpu}
+    spec = PLATFORM_BUILDERS[platform]()
+    networks = [
+        spec.chassis.with_grille_blockage(float(fraction)).build_network(
+            constant_utilization(1.0)
+        )
+        for fraction in fractions
+    ]
+    outlet: list[float] = []
+    cpu: list[float] = []
+    for steady in solve_steady_state_batch(networks, backend=backend):
+        outlet.append(steady.outlet_temperature_c())
+        cpu.append(
+            max(
+                value
+                for name, value in steady.temperatures_c.items()
+                if name.startswith("cpu")
+            )
+        )
+    return {
+        "blockage": fractions,
+        "outlet_c": np.array(outlet),
+        "cpu_c": np.array(cpu),
+    }
 
 
 def run(quick: bool = False, jobs: int = 1) -> ExperimentResult:

@@ -542,6 +542,10 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the empty-schedule bit-identity check",
     )
     args = parser.parse_args(argv)
+    if args.seeds < 1:
+        # An empty seed range would run zero checks yet exit 0, which a
+        # CI lane would read as a pass.
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
     config = ChaosConfig(mode=args.mode)
 
     failures = 0

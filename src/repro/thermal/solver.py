@@ -31,6 +31,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SolverError
 from repro.obs import ObsRegistry, get_registry
+from repro.thermal.backends import (
+    NumbaBackend,
+    NumpyBackend,
+    SolverBackend,
+    count_backend_selection,
+    resolve_backend,
+)
 from repro.thermal.network import ThermalNetwork, constant_value_of
 from repro.units import AIR_VOLUMETRIC_HEAT_CAPACITY
 
@@ -174,8 +181,11 @@ class _CompiledNetwork:
       evaluates ``t + dt/2`` twice per step.
     """
 
-    def __init__(self, network: ThermalNetwork) -> None:
+    def __init__(
+        self, network: ThermalNetwork, backend: SolverBackend | None = None
+    ) -> None:
         self.network = network
+        self.backend = backend if backend is not None else NumpyBackend()
         self.cap_names = network.capacitive_names
         self.pcm_names = network.pcm_names
         self.n_cap = len(self.cap_names)
@@ -345,12 +355,53 @@ class _CompiledNetwork:
         self._g_cache: np.ndarray | None = None
         self._op_cache_flow: float | None = None
         self._op_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._prepared_cache_flow: float | None = None
+        self._prepared_cache: object | None = None
         if self.air_path is None:
             self._op_cache_flow = 0.0
             self._op_cache = (
                 self.laplacian * self.inv_capacity_rows,
                 np.zeros(self.n_state),
             )
+        if isinstance(self.backend, NumbaBackend):
+            self.backend.warm_up(self.n_state)
+
+    # -- backend plumbing -----------------------------------------------------
+
+    def set_backend(self, backend: SolverBackend) -> None:
+        """Swap the operator-application backend, invalidating its cache."""
+        self.backend = backend
+        self._prepared_cache_flow = None
+        self._prepared_cache = None
+        self._input_cache_time = None
+        self._input_cache = None
+        if isinstance(backend, NumbaBackend):
+            backend.warm_up(self.n_state)
+
+    def operator_density(self) -> float:
+        """Structural density (nnz fraction) of the compiled operator.
+
+        Probed at the run's initial flow — the operator the run builds
+        first anyway — and used by ``backend="auto"`` to decide whether
+        CSR is worth it.
+        """
+        flow = 0.0
+        if self.air_path is not None:
+            flow = self.air_path.flow_at_time(0.0)
+        matrix, _ = self._operator_for_flow(flow)
+        return np.count_nonzero(matrix) / matrix.size
+
+    def _prepared_for_flow(self, flow: float) -> object:
+        """The flow's operator in the backend's native form, cached."""
+        if (
+            flow == self._prepared_cache_flow
+            and self._prepared_cache is not None
+        ):
+            return self._prepared_cache
+        matrix, _ = self._operator_for_flow(flow)
+        self._prepared_cache_flow = flow
+        self._prepared_cache = self.backend.prepare(matrix)
+        return self._prepared_cache
 
     # -- structural signature (batched solves require identical structure) ----
 
@@ -519,11 +570,11 @@ class _CompiledNetwork:
         flow = 0.0
         if self.air_path is not None:
             flow = self.air_path.flow_at_time(time_s)
-        operator, inlet_vector = self._operator_for_flow(flow)
+        _, inlet_vector = self._operator_for_flow(flow)
         if self.air_path is not None:
             base += inlet_vector * boundary[self.inlet_index]
         base *= self.inv_capacity
-        inputs = (operator, base)
+        inputs = (self._prepared_for_flow(flow), base)
         self._input_cache_time = time_s
         self._input_cache = inputs
         return inputs
@@ -533,9 +584,7 @@ class _CompiledNetwork:
     def rhs(self, state: np.ndarray, time_s: float) -> np.ndarray:
         """Packed state derivative; mirrors ThermalNetwork.state_derivative."""
         operator, constants = self._constants_at(time_s)
-        derivative = operator @ self.temperatures(state)
-        derivative += constants
-        return derivative
+        return self.backend.apply(operator, self.temperatures(state), constants)
 
     def observe(
         self, state: np.ndarray, time_s: float
@@ -666,6 +715,7 @@ def simulate_transient(
     step_safety: float = DEFAULT_STEP_SAFETY,
     commit_final_state: bool = False,
     method: str = "rk4",
+    backend: str = "auto",
 ) -> TransientResult:
     """Integrate a network forward in time and sample its trajectory.
 
@@ -695,6 +745,11 @@ def simulate_transient(
         ``"bdf"``: SciPy's implicit BDF integrator on the same compiled
         right-hand side — an independent numerical path used as a
         cross-check (tests assert the two agree).
+    backend:
+        Operator-application backend: ``"auto"`` (default — dense NumPy,
+        switching to SciPy CSR past the size/density thresholds in
+        :mod:`repro.thermal.backends`), or an explicit ``"numpy"``,
+        ``"sparse"``, or ``"numba"`` (requires the ``compiled`` extra).
     """
     _validate_run_args(duration_s, output_interval_s)
     if method not in ("rk4", "bdf"):
@@ -705,6 +760,10 @@ def simulate_transient(
     obs = get_registry()
     with obs.timer("solver.transient"):
         compiled = _CompiledNetwork(network)
+        compiled.set_backend(
+            resolve_backend(backend, compiled.n_state, compiled.operator_density)
+        )
+        count_backend_selection(compiled.backend)
         obs.count("solver.compiled_builds")
         obs.count("solver.path.compiled")
 
@@ -837,9 +896,14 @@ class _BatchCompiledNetwork:
     broadcasts over it.
     """
 
-    def __init__(self, members: list[_CompiledNetwork]) -> None:
+    def __init__(
+        self,
+        members: list[_CompiledNetwork],
+        backend: SolverBackend | None = None,
+    ) -> None:
         if not members:
             raise ConfigurationError("batch must contain at least one network")
+        self.backend = backend if backend is not None else NumpyBackend()
         first = members[0]
         for position, member in enumerate(members[1:], start=1):
             if member.structure() != first.structure():
@@ -882,7 +946,9 @@ class _BatchCompiledNetwork:
         self._input_cache_time: float | None = None
         self._input_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._op_cache_key: bytes | None = None
-        self._op_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._op_cache: tuple[object, np.ndarray] | None = None
+        if isinstance(self.backend, NumbaBackend):
+            self.backend.warm_up(self.n_state)
 
     def temperatures(self, state: np.ndarray) -> np.ndarray:
         """Stacked node temperatures; same branch arithmetic as the
@@ -901,8 +967,9 @@ class _BatchCompiledNetwork:
             )
         return temps
 
-    def _operators_for(self, flows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked per-member (K, inlet vector) operators at member flows."""
+    def _operators_for(self, flows: np.ndarray) -> tuple[object, np.ndarray]:
+        """Stacked per-member (K, inlet vector) operators at member flows,
+        already converted to the backend's native batch form."""
         key = flows.tobytes()
         if key == self._op_cache_key and self._op_cache is not None:
             return self._op_cache
@@ -913,7 +980,7 @@ class _BatchCompiledNetwork:
         operators = np.stack([pair[0] for pair in pairs])
         inlet_vectors = np.stack([pair[1] for pair in pairs])
         self._op_cache_key = key
-        self._op_cache = (operators, inlet_vectors)
+        self._op_cache = (self.backend.prepare_batch(operators), inlet_vectors)
         return self._op_cache
 
     def _constants_at(self, time_s: float) -> tuple[np.ndarray, np.ndarray]:
@@ -949,9 +1016,9 @@ class _BatchCompiledNetwork:
     def rhs(self, state: np.ndarray, time_s: float) -> np.ndarray:
         """Stacked state derivative for all members; shape ``(N, n_state)``."""
         operators, constants = self._constants_at(time_s)
-        derivative = np.einsum("nij,nj->ni", operators, self.temperatures(state))
-        derivative += constants
-        return derivative
+        return self.backend.apply_batch(
+            operators, self.temperatures(state), constants
+        )
 
 
 def simulate_transient_batch(
@@ -961,6 +1028,7 @@ def simulate_transient_batch(
     max_step_s: float | None = None,
     step_safety: float = DEFAULT_STEP_SAFETY,
     commit_final_state: bool = False,
+    backend: str = "auto",
 ) -> BatchTransientResult:
     """Advance N structurally-identical networks in one RK4 loop.
 
@@ -984,7 +1052,13 @@ def simulate_transient_batch(
     obs = get_registry()
     with obs.timer("solver.transient_batch"):
         members = [_CompiledNetwork(network) for network in networks]
-        batch = _BatchCompiledNetwork(members)
+        # All members share one structure, so member 0's size and density
+        # stand in for the whole batch when resolving "auto".
+        batch_backend = resolve_backend(
+            backend, members[0].n_state, members[0].operator_density
+        )
+        batch = _BatchCompiledNetwork(members, backend=batch_backend)
+        count_backend_selection(batch_backend)
         obs.count("solver.compiled_builds", len(members))
         obs.count("solver.path.batched")
 

@@ -254,6 +254,76 @@ def _event_speedup(quick: bool, jobs: int) -> Callable[[], object]:
     return run
 
 
+def _control_overhead(quick: bool, jobs: int) -> Callable[[], object]:
+    """Per-tick cost of the control loop over the bare policy stack.
+
+    Runs the chaos plant twice back to back — legacy throttling policy,
+    then a :class:`~repro.control.ControlLoop` wrapping the ported
+    greedy planner (decision-identical, so both arms do the same
+    simulation work) — and attributes the wall-clock difference to the
+    loop's per-tick machinery. The microseconds-per-tick figure lands in
+    ``control.bench.overhead_us_per_tick`` and the gate counter
+    ``control.bench.overhead_le_500us``.
+    """
+    from repro.control import ControlLoop, GreedyThrottlePolicy
+    from repro.faults.chaos import ChaosConfig, build_simulator
+    from repro.units import hours
+
+    config = ChaosConfig(
+        server_count=8 if quick else 24,
+        duration_s=hours(10.0) if quick else hours(36.0),
+        tick_interval_s=120.0 if quick else 60.0,
+        fault_start_s=hours(1.0),
+        fault_end_s=hours(5.0),
+        max_fault_s=hours(2.0),
+        quiet_from_s=hours(6.0),
+        relax_s=hours(2.0),
+    )
+
+    def run() -> dict[str, float]:
+        def control_factory(room, injector):
+            return ControlLoop(
+                GreedyThrottlePolicy(),
+                room,
+                injector=injector,
+                tick_interval_s=config.tick_interval_s,
+            )
+
+        # Interleave the arms so drift in machine load hits both.
+        plain_s = []
+        control_s = []
+        n_ticks = 0
+        for _ in range(2):
+            plain = build_simulator(config)
+            start = time.perf_counter()
+            plain.run()
+            plain_s.append(time.perf_counter() - start)
+
+            controlled = build_simulator(
+                config, policy_factory=control_factory
+            )
+            start = time.perf_counter()
+            controlled.run()
+            control_s.append(time.perf_counter() - start)
+            n_ticks = len(controlled.policy.decision_log)
+
+        overhead_us = (
+            (min(control_s) - min(plain_s)) / max(n_ticks, 1) * 1e6
+        )
+        obs = get_registry()
+        if obs.enabled:
+            obs.record("control.bench.overhead_us_per_tick", overhead_us)
+            # The quick lane runs a different plant; gate on full only.
+            if not quick:
+                obs.count(
+                    "control.bench.overhead_le_500us",
+                    int(overhead_us <= 500.0),
+                )
+        return {"overhead_us_per_tick": overhead_us}
+
+    return run
+
+
 def _fig7_sweep(quick: bool, jobs: int) -> Callable[[], object]:
     from repro.experiments.fig7_blockage import run
 
@@ -468,6 +538,15 @@ SCENARIOS: tuple[Scenario, ...] = (
         "solves); honors --jobs, so it measures the parallel speedup of "
         "the sweep runner over the platform batches",
         _fig7_sweep,
+        repeats=2,
+    ),
+    Scenario(
+        "control_overhead",
+        "the chaos plant with the bare greedy throttle, then with the "
+        "decision-identical ControlLoop wrapper; the per-tick loop cost "
+        "lands in control.bench.overhead_us_per_tick and the gate "
+        "counter control.bench.overhead_le_500us",
+        _control_overhead,
         repeats=2,
     ),
     Scenario(

@@ -1,0 +1,37 @@
+"""Closed-loop datacenter control: monitor -> plan -> execute -> verify.
+
+The control loop treats the datacenter simulator as the plant: each tick
+it reads observed (fault-injected) telemetry, asks a pluggable
+:class:`~repro.control.planners.Planner` for an action plan, clamps it
+through the :class:`~repro.control.actions.Executor`, and checks the
+:class:`~repro.control.loop.Verifier`'s predicted-vs-realized state,
+escalating to a safe fallback policy on sustained divergence.
+:mod:`repro.control.tournament` races every shipped planner over a
+shared scenario suite. See ``docs/CONTROL.md``.
+"""
+
+from repro.control.actions import ActuatorLimits, ControlAction, Executor
+from repro.control.loop import ControlLoop, DecisionRecord, Verifier
+from repro.control.planners import (
+    GreedyThrottlePolicy,
+    MPCPolicy,
+    NoOpPlanner,
+    Observation,
+    Planner,
+    ScheduledPolicy,
+)
+
+__all__ = [
+    "ActuatorLimits",
+    "ControlAction",
+    "ControlLoop",
+    "DecisionRecord",
+    "Executor",
+    "GreedyThrottlePolicy",
+    "MPCPolicy",
+    "NoOpPlanner",
+    "Observation",
+    "Planner",
+    "ScheduledPolicy",
+    "Verifier",
+]

@@ -1042,6 +1042,9 @@ def run_event_mode(sim):
     slot_limit = slots
     throttle_ticks = 0
     records = _Recorder(len(ticks), n_servers)
+    # Per-tick control hook, mirroring the fluid engine: policies that
+    # implement begin_tick receive the simulation clock before deciding.
+    begin_tick = getattr(sim.policy, "begin_tick", None)
     start = _time.perf_counter()
 
     for tick_index, tick_time in enumerate(ticks):
@@ -1070,6 +1073,8 @@ def run_event_mode(sim):
         work_rate = utilization * tf
         if injector is not None:
             work_rate = injector.observe(work_rate)
+        if begin_tick is not None:
+            begin_tick(tick_time, dt)
         decision = sim.policy.decide(state, work_rate)
         if injector is not None:
             decision = injector.constrain(decision)

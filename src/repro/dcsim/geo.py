@@ -33,12 +33,80 @@ import numpy as np
 from repro.dcsim.cluster import ClusterTopology
 from repro.dcsim.room import RoomModel
 from repro.dcsim.thermal_coupling import ClusterThermalState
-from repro.dcsim.throttling import RoomTemperaturePolicy, projected_release_w
+from repro.dcsim.throttling import (
+    RoomTemperaturePolicy,
+    ThrottleDecision,
+    projected_release_w,
+)
 from repro.errors import ConfigurationError
 from repro.materials.pcm import PCMMaterial
 from repro.server.characterization import PlatformCharacterization
 from repro.server.power import ServerPowerModel
 from repro.workload.trace import LoadTrace
+
+
+def route_unserved(
+    unserved,
+    spare,
+    online=None,
+    loss_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedily route each site's unserved work onto others' spare capacity.
+
+    Pure and deterministic: senders are visited in index order, and each
+    offers its remaining unserved work to receivers in index order
+    (skipping itself and offline sites) until its backlog or the pool of
+    spare capacity runs out. An offline site still *offers* its demand —
+    failover is the point of geo balancing — but receives nothing and
+    contributes no spare.
+
+    Returns ``(moved, delivered)``, both shaped ``(n, n)``:
+    ``moved[i, j]`` is the work sender ``i`` hands to receiver ``j``,
+    ``delivered[i, j]`` the part that survives the relocation loss.
+    Invariants (the property suite asserts them): row sums of ``moved``
+    never exceed ``unserved``, column sums never exceed ``spare``,
+    offline columns and the diagonal are zero, and a single site routes
+    nothing.
+    """
+    unserved = [float(u) for u in unserved]
+    remaining_spare = [float(s) for s in spare]
+    n = len(unserved)
+    if len(remaining_spare) != n:
+        raise ConfigurationError(
+            "unserved and spare must have one entry per site"
+        )
+    if online is None:
+        online = [True] * n
+    online = [bool(o) for o in online]
+    if len(online) != n:
+        raise ConfigurationError("online must have one entry per site")
+    if not 0.0 <= loss_fraction < 1.0:
+        raise ConfigurationError(
+            "relocation loss must be a fraction in [0, 1)"
+        )
+    if any(u < 0 for u in unserved) or any(s < 0 for s in remaining_spare):
+        raise ConfigurationError("unserved and spare must be non-negative")
+
+    moved = np.zeros((n, n))
+    delivered = np.zeros((n, n))
+    for i in range(n):
+        left = unserved[i]
+        if left <= 0.0:
+            continue
+        for j in range(n):
+            if j == i or not online[j]:
+                continue
+            capacity = remaining_spare[j]
+            if capacity <= 0.0:
+                continue
+            amount = min(left, capacity)
+            moved[i, j] = amount
+            delivered[i, j] = amount * (1.0 - loss_fraction)
+            left -= amount
+            remaining_spare[j] = capacity - amount
+            if left <= 0.0:
+                break
+    return moved, delivered
 
 
 @dataclass
@@ -54,6 +122,10 @@ class GeoSite:
     topology: ClusterTopology
     wax_enabled: bool = True
     inlet_temperature_c: float = 25.0
+    #: An offline site serves nothing, offers no spare capacity, and
+    #: idles at its minimum DVFS state; its whole demand is offered to
+    #: the other site (minus the relocation tax).
+    online: bool = True
 
     def __post_init__(self) -> None:
         self.policy = RoomTemperaturePolicy(self.room)
@@ -162,6 +234,13 @@ class GeoPair:
         self, site: GeoSite, demand: float
     ) -> tuple[float, float, float, object]:
         """One site's local decision: (served, unserved, spare, decision)."""
+        if not site.online:
+            decision = ThrottleDecision(
+                frequency_ghz=site.power_model.min_frequency_ghz,
+                utilization_cap=0.0,
+                limited=True,
+            )
+            return 0.0, demand, 0.0, decision
         n = site.topology.server_count
         work = np.full(n, demand)
         decision = site.policy.decide(site.state, work)
@@ -231,20 +310,23 @@ class GeoPair:
                 site.state.inlet_temperature_c = site.room.temperature_c
                 locals_[id(site)] = self._site_tick(site, demands[id(site)])
 
-            # Offer each site's unserved work to the other.
-            accepted = {id(site): 0.0 for site in sites}
-            relocated = {id(site): 0.0 for site in sites}
-            for sender, receiver in (
-                (self.site_a, self.site_b),
-                (self.site_b, self.site_a),
-            ):
-                _, unserved, _, _ = locals_[id(sender)]
-                _, _, spare, _ = locals_[id(receiver)]
-                if unserved > 0 and spare > 0:
-                    moved = min(unserved, spare)
-                    delivered = moved * (1.0 - self.relocation_loss_fraction)
-                    relocated[id(sender)] += moved
-                    accepted[id(receiver)] += delivered
+            # Offer each site's unserved work to the other through the
+            # shared router (index order = (site_a, site_b), which for a
+            # pair of online sites reduces to the symmetric swap).
+            moved, delivered = route_unserved(
+                [locals_[id(site)][1] for site in sites],
+                [locals_[id(site)][2] for site in sites],
+                [site.online for site in sites],
+                self.relocation_loss_fraction,
+            )
+            relocated = {
+                id(site): float(np.sum(moved[k]))
+                for k, site in enumerate(sites)
+            }
+            accepted = {
+                id(site): float(np.sum(delivered[:, k]))
+                for k, site in enumerate(sites)
+            }
 
             # Advance each site's thermal state with its final busy level.
             for site in sites:

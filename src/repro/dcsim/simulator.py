@@ -267,6 +267,10 @@ class DatacenterSimulator:
 
         throttle_ticks = 0
         records = _Recorder(len(ticks), n_servers)
+        # Per-tick control hook: policies that implement begin_tick (e.g.
+        # repro.control.ControlLoop) receive the simulation clock before
+        # each decision; plain policies are untouched.
+        begin_tick = getattr(self.policy, "begin_tick", None)
         for i, t in enumerate(ticks):
             demand = float(np.clip(self.trace.value_at(t - 0.5 * dt), 0.0, 1.0))
             if injector is not None:
@@ -279,6 +283,8 @@ class DatacenterSimulator:
             work_rate = np.full(n_servers, demand)
             if injector is not None:
                 work_rate = injector.observe(work_rate)
+            if begin_tick is not None:
+                begin_tick(t, dt)
             decision = self.policy.decide(state, work_rate)
             if injector is not None:
                 decision = injector.constrain(decision)

@@ -164,6 +164,17 @@ class FaultResponsePolicy:
     policy sees through the already-derated room capacity) delegates to
     the base policy unchanged, so a run with no active fault is
     decision-identical to running the base policy alone.
+
+    .. deprecated::
+        New control logic should target the
+        :class:`repro.control.Planner` interface instead;
+        :class:`repro.control.GreedyThrottlePolicy` is the
+        decision-identical replacement for this wrapper around
+        :class:`RoomTemperaturePolicy` inside a
+        :class:`repro.control.ControlLoop` (which adds actuator
+        clamping, divergence fallback, and tournament scoring). This
+        class remains for the paper-faithful figures and the fidelity
+        suite; see ``docs/CONTROL.md``.
     """
 
     def __init__(

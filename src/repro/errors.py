@@ -40,6 +40,11 @@ class FaultError(ReproError):
     """A fault schedule is malformed or a fault cannot be injected."""
 
 
+class ControlError(ReproError):
+    """A control loop, planner, or tournament was misconfigured, or a
+    tournament bundle is malformed."""
+
+
 class ExperimentError(ReproError):
     """An experiment was requested that does not exist or cannot run."""
 

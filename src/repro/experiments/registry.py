@@ -98,6 +98,7 @@ _REGISTRY: dict[str, str] = {
     "fig12": "repro.experiments.fig12_throughput",
     "ablations": "repro.experiments.ablations",
     "extensions": "repro.experiments.extensions",
+    "control_tournament": "repro.experiments.control_tournament",
 }
 
 

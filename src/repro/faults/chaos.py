@@ -278,6 +278,8 @@ def build_simulator(
     config: ChaosConfig,
     injector: FaultInjector | None = None,
     wax_enabled: bool = True,
+    policy_factory=None,
+    trace: LoadTrace | None = None,
 ) -> DatacenterSimulator:
     """The harness's constrained simulator, with or without an injector.
 
@@ -286,19 +288,28 @@ def build_simulator(
     the (decision-identical while no fault is active) policy wrapper.
     ``wax_enabled=False`` gives the no-PCM baseline arm of the
     ``fig11_faults`` experiment under the same plant and schedule.
+
+    ``policy_factory``, if given, is called as ``policy_factory(room,
+    injector)`` and replaces the default throttling stack — the seam the
+    control tournament uses to drop a ``repro.control.ControlLoop`` into
+    the harness plant. ``trace`` swaps in an alternative workload (the
+    plant stays sized against the chaos nominal peak).
     """
     spec = PLATFORM_BUILDERS[config.platform]()
     room = RoomModel.sized_for_cluster(
         _plant_capacity_w(config), config.server_count
     )
-    policy = RoomTemperaturePolicy(room)
-    if injector is not None:
-        policy = FaultResponsePolicy(policy, injector)
+    if policy_factory is not None:
+        policy = policy_factory(room, injector)
+    else:
+        policy = RoomTemperaturePolicy(room)
+        if injector is not None:
+            policy = FaultResponsePolicy(policy, injector)
     return DatacenterSimulator(
         cached_characterization(spec),
         spec.power_model,
         spec.wax_loadout.material,
-        chaos_trace(config),
+        trace if trace is not None else chaos_trace(config),
         topology=ClusterTopology(
             server_count=config.server_count,
             servers_per_rack=spec.servers_per_rack,
@@ -428,7 +439,9 @@ def check_transparency(config: ChaosConfig | None = None) -> bool:
 
 
 def check_engine_agreement(
-    config: ChaosConfig | None = None, seed: int = 0
+    config: ChaosConfig | None = None,
+    seed: int = 0,
+    policy_factory=None,
 ) -> bool:
     """Whether both event engines produce bit-identical faulted runs.
 
@@ -437,6 +450,9 @@ def check_engine_agreement(
     every trace bitwise. This is the event-engine equivalence acceptance
     gate under fault injection (offline servers, power caps, and queue
     backlogs all stress the engines' shared dispatch semantics).
+    ``policy_factory`` swaps in an alternative policy stack on both arms
+    (see :func:`build_simulator`) — the control subsystem uses it to
+    prove each planner decides identically on either engine.
     """
     config = config or ChaosConfig(mode="event")
     if config.mode != "event":
@@ -444,7 +460,9 @@ def check_engine_agreement(
     schedule = random_schedule(seed, config)
     results = [
         build_simulator(
-            replace(config, engine=engine), FaultInjector(schedule)
+            replace(config, engine=engine),
+            FaultInjector(schedule),
+            policy_factory=policy_factory,
         ).run()
         for engine in ("batched", "reference")
     ]

@@ -1,0 +1,449 @@
+"""Control-loop unit and oracle tests: actuators, verifier, planners.
+
+The two structural guarantees the subsystem rests on are proven here:
+
+* **Transparency** — a :class:`~repro.control.ControlLoop` wrapping the
+  no-op planner, with no faults scheduled, is *byte-identical* to the
+  uninstrumented simulator on the fluid engine and on both event
+  engines (the controller reads state, never invents actions).
+* **Port fidelity** — :class:`~repro.control.GreedyThrottlePolicy` is
+  decision-identical to the legacy
+  ``FaultResponsePolicy(RoomTemperaturePolicy(room))`` stack it
+  replaces, across chaos fault schedules.
+
+Plus the cross-engine equivalence satellite: each shipped planner makes
+bit-identical decision traces on ``reference`` and ``batched`` engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ActuatorLimits,
+    ControlAction,
+    ControlLoop,
+    Executor,
+    GreedyThrottlePolicy,
+    MPCPolicy,
+    NoOpPlanner,
+    Planner,
+    ScheduledPolicy,
+    Verifier,
+)
+from repro.control.tournament import control_policy_factory
+from repro.dcsim.room import RoomModel
+from repro.errors import ControlError
+from repro.faults.chaos import (
+    ChaosConfig,
+    build_simulator,
+    check_engine_agreement,
+    identical_results,
+    random_schedule,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    COOLING_LOSS,
+    SENSOR_DROPOUT,
+    Fault,
+    FaultSchedule,
+)
+from repro.obs import get_registry
+from repro.units import hours
+
+
+def small_config(**overrides) -> ChaosConfig:
+    """The cheap plant every test here runs on (~300 ticks)."""
+    defaults = dict(
+        server_count=8,
+        duration_s=hours(10.0),
+        tick_interval_s=120.0,
+        fault_start_s=hours(1.0),
+        fault_end_s=hours(5.0),
+        max_fault_s=hours(2.0),
+        quiet_from_s=hours(6.0),
+        relax_s=hours(2.0),
+    )
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+def loop_factory(planner_factory, config, **loop_kwargs):
+    """build_simulator policy_factory wiring one planner into a loop."""
+
+    def factory(room, injector):
+        return ControlLoop(
+            planner_factory(),
+            room,
+            injector=injector,
+            tick_interval_s=config.tick_interval_s,
+            **loop_kwargs,
+        )
+
+    return factory
+
+
+# -- actuator layer ----------------------------------------------------------
+
+
+class TestActuatorLimits:
+    def test_rejects_bad_envelopes(self):
+        with pytest.raises(ControlError):
+            ActuatorLimits(
+                min_frequency_ghz=2.0,
+                max_frequency_ghz=1.0,
+                sprint_frequency_ghz=2.0,
+            )
+        with pytest.raises(ControlError):
+            ActuatorLimits(
+                min_frequency_ghz=1.0,
+                max_frequency_ghz=2.0,
+                sprint_frequency_ghz=1.5,
+            )
+        with pytest.raises(ControlError):
+            ActuatorLimits(
+                min_frequency_ghz=1.0,
+                max_frequency_ghz=2.0,
+                sprint_frequency_ghz=2.0,
+                setpoint_slew_c=0.0,
+            )
+        with pytest.raises(ControlError):
+            ActuatorLimits(
+                min_frequency_ghz=1.0,
+                max_frequency_ghz=2.0,
+                sprint_frequency_ghz=2.0,
+                sprint_budget_s=-1.0,
+            )
+
+    def test_for_power_model_pins_dvfs_ladder(self, one_u_spec):
+        limits = ActuatorLimits.for_power_model(one_u_spec.power_model)
+        assert limits.min_frequency_ghz == one_u_spec.power_model.min_frequency_ghz
+        assert (
+            limits.max_frequency_ghz
+            == one_u_spec.power_model.nominal_frequency_ghz
+        )
+        assert limits.sprint_frequency_ghz == limits.max_frequency_ghz
+
+
+class TestExecutor:
+    @pytest.fixture
+    def limits(self):
+        return ActuatorLimits(
+            min_frequency_ghz=1.6,
+            max_frequency_ghz=2.4,
+            sprint_frequency_ghz=2.4,
+            sprint_budget_s=300.0,
+        )
+
+    def test_clamps_into_envelope(self, limits):
+        executor = Executor(limits)
+        decision = executor.apply(
+            ControlAction(frequency_ghz=3.5, utilization_cap=1.7), dt_s=60.0
+        )
+        assert decision.frequency_ghz == 2.4
+        assert decision.utilization_cap == 1.0
+        assert executor.clamp_count == 1
+
+        decision = executor.apply(
+            ControlAction(frequency_ghz=0.5, utilization_cap=-0.2), dt_s=60.0
+        )
+        assert decision.frequency_ghz == 1.6
+        assert decision.utilization_cap == 0.0
+        assert decision.limited
+
+    def test_nominal_passes_through_exactly(self, limits):
+        executor = Executor(limits)
+        decision = executor.apply(ControlAction(frequency_ghz=2.4), dt_s=60.0)
+        assert decision.frequency_ghz == 2.4
+        assert not decision.limited
+        assert executor.clamp_count == 0
+
+    def test_sprint_budget_metering(self, limits):
+        executor = Executor(limits)
+        for _ in range(5):  # 5 x 60 s fits the 300 s budget exactly
+            executor.apply(
+                ControlAction(frequency_ghz=2.4, sprint=True), dt_s=60.0
+            )
+        assert executor.sprints_granted == 5
+        assert executor.sprint_budget_remaining_s == 0.0
+        executor.apply(
+            ControlAction(frequency_ghz=2.4, sprint=True), dt_s=60.0
+        )
+        assert executor.sprints_declined == 1
+        executor.reset()
+        assert executor.sprint_budget_remaining_s == 300.0
+        assert executor.sprints_granted == 0
+
+    def test_setpoint_slew_and_reset(self, limits):
+        room = RoomModel(cooling_capacity_w=1000.0, setpoint_c=25.0)
+        executor = Executor(limits, room=room)
+        executor.apply(
+            ControlAction(frequency_ghz=2.4, cooling_setpoint_c=20.0),
+            dt_s=60.0,
+        )
+        # Slew-limited: one tick moves at most 1 degree.
+        assert room.setpoint_c == 24.0
+        executor.apply(
+            ControlAction(frequency_ghz=2.4, cooling_setpoint_c=23.5),
+            dt_s=60.0,
+        )
+        assert room.setpoint_c == 23.5
+        executor.reset()
+        assert room.setpoint_c == 25.0
+
+
+# -- verifier ----------------------------------------------------------------
+
+
+class TestVerifier:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ControlError):
+            Verifier(tolerance_c=0.0)
+        with pytest.raises(ControlError):
+            Verifier(patience=0)
+        with pytest.raises(ControlError):
+            Verifier(recovery_ticks=0)
+
+    def test_escalates_after_patience_and_recovers(self):
+        verifier = Verifier(tolerance_c=0.5, patience=2, recovery_ticks=2)
+        # No prediction yet: never a divergence.
+        assert not verifier.check(25.0)
+
+        verifier._predicted_c = 25.0
+        assert verifier.check(26.0)  # miss 1
+        assert not verifier.fallback_active
+        verifier._predicted_c = 25.0
+        assert verifier.check(26.0)  # miss 2 -> escalate
+        assert verifier.fallback_active
+        assert verifier.escalations == 1
+
+        verifier._predicted_c = 25.0
+        assert not verifier.check(25.1)  # clean 1
+        assert verifier.fallback_active
+        verifier._predicted_c = 25.0
+        assert not verifier.check(25.1)  # clean 2 -> de-escalate
+        assert not verifier.fallback_active
+        assert verifier.divergences == 2
+
+
+# -- loop wiring -------------------------------------------------------------
+
+
+class TestControlLoopWiring:
+    def test_requires_a_room(self):
+        with pytest.raises(ControlError):
+            ControlLoop(NoOpPlanner(), room=None)
+        with pytest.raises(ControlError):
+            ControlLoop(
+                NoOpPlanner(),
+                RoomModel(cooling_capacity_w=1.0),
+                tick_interval_s=0.0,
+            )
+
+    def test_unknown_tournament_planner_rejected(self):
+        with pytest.raises(ControlError):
+            control_policy_factory("nonexistent", 60.0)
+
+    def test_decision_log_and_obs_counters(self):
+        config = small_config()
+        sim = build_simulator(
+            config,
+            policy_factory=loop_factory(NoOpPlanner, config),
+        )
+        registry = get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            sim.run()
+            snapshot = registry.snapshot()
+        finally:
+            registry.disable()
+            registry.reset()
+        loop = sim.policy
+        assert len(loop.decision_log) == len(sim._tick_times())
+        assert all(r.planner == "noop" for r in loop.decision_log)
+        counters = snapshot.counters
+        assert counters["control.ticks"] == len(loop.decision_log)
+        assert counters["control.planner.noop.plans"] == counters[
+            "control.ticks"
+        ]
+        assert any("control.plan.noop" in name for name in snapshot.timers)
+
+    def test_fallback_escalation_switches_planner(self):
+        """An impossible tolerance forces divergence -> fallback."""
+
+        class PinnedMin(Planner):
+            name = "pinned-min"
+
+            def plan(self, obs):
+                return ControlAction(
+                    frequency_ghz=obs.min_frequency_ghz, limited=True
+                )
+
+        config = small_config()
+        sim = build_simulator(
+            config,
+            policy_factory=lambda room, inj: ControlLoop(
+                NoOpPlanner(),
+                room,
+                injector=inj,
+                verifier=Verifier(tolerance_c=1e-12, patience=2),
+                fallback=PinnedMin(),
+                tick_interval_s=config.tick_interval_s,
+            ),
+        )
+        sim.run()
+        loop = sim.policy
+        assert loop.verifier.escalations >= 1
+        assert any(r.fallback_active for r in loop.decision_log)
+        assert any(
+            r.planner == "pinned-min" for r in loop.decision_log
+        )
+
+    def test_loop_without_begin_tick_reconstructs_clock(self):
+        """decide() works standalone (no engine hook), ticking its own clock."""
+        room = RoomModel(cooling_capacity_w=1e5)
+        loop = ControlLoop(
+            ScheduledPolicy(), room, tick_interval_s=hours(1.0)
+        )
+        config = small_config()
+        sim = build_simulator(config)  # only for a real thermal state
+        state = sim._make_state()
+        work = np.full(config.server_count, 0.5)
+        for _ in range(30):
+            loop.decide(state, work)
+        hours_seen = {round(r.time_s / 3600.0) for r in loop.decision_log}
+        assert len(hours_seen) == 30  # clock advanced once per decide
+
+
+# -- transparency oracle (satellite) -----------------------------------------
+
+
+class TestTransparencyOracle:
+    def test_fluid_engine_byte_identical(self):
+        config = small_config()
+        plain = build_simulator(config).run()
+        controlled = build_simulator(
+            config, policy_factory=loop_factory(NoOpPlanner, config)
+        ).run()
+        assert identical_results(plain, controlled)
+
+    @pytest.mark.parametrize("engine", ["batched", "reference"])
+    def test_event_engines_byte_identical(self, engine):
+        config = small_config(mode="event", engine=engine)
+        plain = build_simulator(config).run()
+        controlled = build_simulator(
+            config, policy_factory=loop_factory(NoOpPlanner, config)
+        ).run()
+        assert identical_results(plain, controlled)
+
+
+# -- greedy port fidelity ----------------------------------------------------
+
+
+class TestGreedyPortFidelity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_byte_identical_to_legacy_stack_under_chaos(self, seed):
+        config = small_config()
+        schedule = random_schedule(seed, config)
+        legacy = build_simulator(config, FaultInjector(schedule)).run()
+        ported = build_simulator(
+            config,
+            FaultInjector(schedule),
+            policy_factory=loop_factory(GreedyThrottlePolicy, config),
+        ).run()
+        assert identical_results(legacy, ported)
+
+    def test_byte_identical_on_override_branches(self):
+        """Pinned dropout + severe cooling loss hit the folded-in paths."""
+        config = small_config()
+        schedule = FaultSchedule(
+            (
+                Fault(SENSOR_DROPOUT, hours(1.0), hours(2.0)),
+                Fault(COOLING_LOSS, hours(2.5), hours(4.5), 0.7),
+            ),
+            name="overrides",
+        )
+        legacy = build_simulator(config, FaultInjector(schedule)).run()
+        ported = build_simulator(
+            config,
+            FaultInjector(schedule),
+            policy_factory=loop_factory(GreedyThrottlePolicy, config),
+        ).run()
+        assert identical_results(legacy, ported)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ControlError):
+            GreedyThrottlePolicy(deadband_c=-1.0)
+        with pytest.raises(ControlError):
+            GreedyThrottlePolicy(emergency_capacity_factor=1.5)
+
+
+# -- cross-engine control equivalence (satellite) ----------------------------
+
+
+PLANNER_FACTORIES = {
+    "greedy": GreedyThrottlePolicy,
+    "scheduled": ScheduledPolicy,
+    "mpc": lambda: MPCPolicy(horizon_ticks=4),
+}
+
+
+class TestCrossEngineControlEquivalence:
+    @pytest.mark.parametrize("planner", sorted(PLANNER_FACTORIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_engine_agreement_with_control_loop(self, planner, seed):
+        config = small_config(mode="event")
+        assert check_engine_agreement(
+            config,
+            seed=seed,
+            policy_factory=loop_factory(PLANNER_FACTORIES[planner], config),
+        )
+
+    @pytest.mark.parametrize("planner", sorted(PLANNER_FACTORIES))
+    def test_decision_traces_identical_across_engines(self, planner):
+        config = small_config(mode="event")
+        schedule = random_schedule(3, config)
+        logs = []
+        for engine in ("batched", "reference"):
+            sim = build_simulator(
+                replace(config, engine=engine),
+                FaultInjector(schedule),
+                policy_factory=loop_factory(
+                    PLANNER_FACTORIES[planner], config
+                ),
+            )
+            sim.run()
+            logs.append(list(sim.policy.decision_log))
+        assert logs[0] == logs[1]
+        assert len(logs[0]) > 0
+
+
+# -- scheduled policy --------------------------------------------------------
+
+
+class TestScheduledPolicy:
+    def test_wraparound_window(self):
+        policy = ScheduledPolicy(
+            throttle_start_hour=22.0, throttle_end_hour=6.0
+        )
+        assert policy._in_window(23.0)
+        assert policy._in_window(2.0)
+        assert not policy._in_window(12.0)
+
+    def test_rejects_out_of_range_hours(self):
+        with pytest.raises(ControlError):
+            ScheduledPolicy(throttle_start_hour=25.0)
+
+
+class TestMPCPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ControlError):
+            MPCPolicy(horizon_ticks=0)
+        with pytest.raises(ControlError):
+            MPCPolicy(shed_penalty_usd_per_server_hour=-1.0)
+        with pytest.raises(ControlError):
+            MPCPolicy(overheat_penalty_usd_per_c_hour=-1.0)

@@ -22,6 +22,7 @@ class TestRegistry:
         assert ids == [
             "table1", "table2", "fig1", "fig4", "fig7", "fig9", "fig10",
             "fig11", "fig11_faults", "fig12", "ablations", "extensions",
+            "control_tournament",
         ]
 
     def test_unknown_id_rejected(self):

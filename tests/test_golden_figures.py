@@ -40,6 +40,7 @@ GOLDEN_EXPERIMENTS = (
     "fig11",
     "fig11_faults",
     "fig12",
+    "control_tournament",
 )
 
 #: Relative tolerance for scalar comparisons. The experiments are

@@ -488,6 +488,84 @@ def _solver_backend_transient(quick: bool, jobs: int) -> Callable[[], object]:
     )
 
 
+def _service_latency(quick: bool, jobs: int) -> Callable[[], object]:
+    """Round-trip overhead of the service control plane on cache hits.
+
+    Boots a real :class:`~repro.service.server.SimulationService` on a
+    loopback socket with a fresh cache, pays for one cold solve, then
+    times repeated resubmissions of the same spec — pure control-plane
+    work (HTTP parse, quota, cache read, JSON response). The p50 lands
+    in ``service.bench.cache_hit_p50_ms`` and the gate counter
+    ``service.bench.cache_hit_p50_le_50ms``.
+    """
+    import asyncio
+    import http.client
+    import json as _json
+    import tempfile
+
+    from repro.service.server import ServiceConfig, SimulationService
+
+    rounds = 10 if quick else 40
+    body = _json.dumps(
+        {
+            "tenant": "bench",
+            "spec": {
+                "kind": "cluster",
+                "platform": "1u",
+                "server_count": 8,
+                "ticks": 20,
+            },
+        }
+    )
+
+    def round_trip(port: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        connection.request(
+            "POST",
+            "/v1/jobs",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = _json.loads(response.read())
+        connection.close()
+        if response.status != 200:
+            raise RuntimeError(f"bench request failed: {payload}")
+
+    def run() -> dict[str, float]:
+        async def session() -> list[float]:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+                config = ServiceConfig(
+                    port=0, workers=1, cache=tmp, window_s=0.0,
+                    quota_rate_per_s=10_000.0, quota_burst=10_000.0,
+                )
+                async with SimulationService(config) as service:
+                    port = service.port
+                    loop = asyncio.get_running_loop()
+                    # Cold solve: populates the cache; excluded from timing.
+                    await loop.run_in_executor(None, round_trip, port)
+                    samples: list[float] = []
+                    for _ in range(rounds):
+                        start = time.perf_counter()
+                        await loop.run_in_executor(None, round_trip, port)
+                        samples.append(time.perf_counter() - start)
+                    return samples
+
+        samples = asyncio.run(session())
+        p50_ms = statistics.median(samples) * 1e3
+        obs = get_registry()
+        if obs.enabled:
+            obs.record("service.bench.cache_hit_p50_ms", p50_ms)
+            if not quick:
+                obs.count(
+                    "service.bench.cache_hit_p50_le_50ms",
+                    int(p50_ms <= 50.0),
+                )
+        return {"cache_hit_p50_ms": p50_ms}
+
+    return run
+
+
 #: The tier-2 suite, in execution order.
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
@@ -569,6 +647,14 @@ SCENARIOS: tuple[Scenario, ...] = (
         "lands in solver.bench.sparse_speedup (floored) and "
         "solver.bench.sparse_speedup_ge_3x",
         _solver_backend_sparse,
+    ),
+    Scenario(
+        "service_latency",
+        "cache-hit round trips against a live in-process simulation "
+        "service; the p50 lands in service.bench.cache_hit_p50_ms and "
+        "the gate counter service.bench.cache_hit_p50_le_50ms",
+        _service_latency,
+        repeats=2,
     ),
     Scenario(
         "solver_backend_transient",

@@ -107,11 +107,17 @@ def all_experiment_ids() -> list[str]:
     return list(_REGISTRY)
 
 
-def _experiment_spec(experiment_id: str, quick: bool) -> dict[str, object]:
+def experiment_cache_spec(
+    experiment_id: str, quick: bool
+) -> dict[str, object]:
     """Cache address of one ``(experiment, quick)`` point.
 
-    ``jobs`` is deliberately absent: parallelism must not change the
-    result, so a point computed with any worker count answers for all.
+    Shared by every invocation surface — :func:`run_experiment`,
+    :func:`run_all`, and the service control plane
+    (:mod:`repro.service`) — so a point computed through any of them
+    answers for all of them. ``jobs`` is deliberately absent:
+    parallelism must not change the result, so a point computed with
+    any worker count answers for all.
     """
     return {
         "kind": "experiment",
@@ -157,7 +163,7 @@ def run_experiment(
         ) from None
     module = importlib.import_module(module_name)
     store = resolve_cache(cache)
-    spec = _experiment_spec(experiment_id, quick)
+    spec = experiment_cache_spec(experiment_id, quick)
     if store is not None:
         from repro.runner.cache import MISS
 
@@ -214,7 +220,7 @@ def run_all(
         from repro.runner.cache import MISS
 
         for index, eid in enumerate(ids):
-            payload = store.get(_experiment_spec(eid, quick))
+            payload = store.get(experiment_cache_spec(eid, quick))
             if payload is MISS:
                 pending.append(index)
             else:
@@ -232,7 +238,7 @@ def run_all(
         for index, payload in zip(pending, encoded):
             results[index] = decode_experiment_result(payload)
             if store is not None:
-                store.put(_experiment_spec(ids[index], quick), payload)
+                store.put(experiment_cache_spec(ids[index], quick), payload)
     else:
         for index in pending:
             # The pre-check above already established these are misses;
@@ -244,7 +250,7 @@ def run_all(
             results[index] = result
             if store is not None:
                 store.put(
-                    _experiment_spec(ids[index], quick),
+                    experiment_cache_spec(ids[index], quick),
                     encode_experiment_result(result),
                 )
     return [result for result in results if result is not None]

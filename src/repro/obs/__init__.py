@@ -26,6 +26,7 @@ from repro.obs.registry import (
     timer,
 )
 from repro.obs.report import SCHEMA, RunReport, TimerStat
+from repro.obs.trace import bind_trace, current_trace_id, new_trace_id
 
 __all__ = [
     "ENV_TOGGLE",
@@ -33,7 +34,10 @@ __all__ = [
     "ObsRegistry",
     "RunReport",
     "TimerStat",
+    "bind_trace",
     "count",
+    "current_trace_id",
+    "new_trace_id",
     "disable",
     "enable",
     "get_registry",

@@ -105,7 +105,16 @@ class _MutableTimer:
 
 
 class ObsRegistry:
-    """Collects timers, counters, and values for one process or run."""
+    """Collects timers, counters, and values for one process or run.
+
+    Thread-safety: every mutation of shared state — counter increments,
+    gauge writes, timer-stat accumulation on span exit, ``reset`` — and
+    every ``snapshot`` happens under one internal lock, so concurrent
+    worker threads never lose increments or observe torn aggregates.
+    Timer *nesting* state is thread-local (each thread composes its own
+    ``outer/inner`` paths), which also means a span must enter and exit
+    on the same thread. The disabled fast path takes no lock at all.
+    """
 
     def __init__(self, enabled: bool = False) -> None:
         self._enabled = enabled
@@ -199,6 +208,20 @@ class ObsRegistry:
             return
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + n
+
+    def count_many(self, counts: dict[str, int]) -> None:
+        """Add a batch of counter increments under one lock acquisition.
+
+        Concurrency-heavy callers (the service request path) accumulate
+        per-request deltas locally and flush them here, so N increments
+        cost one contended lock round instead of N.
+        """
+        if not self._enabled or not counts:
+            return
+        with self._lock:
+            counters = self._counters
+            for name, n in counts.items():
+                counters[name] = counters.get(name, 0) + n
 
     def record(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""

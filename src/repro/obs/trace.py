@@ -1,0 +1,65 @@
+"""Per-request trace identities for service-style callers.
+
+A trace id is a short opaque token that follows one request through the
+layers it touches — HTTP handler, coalescing queue, worker thread,
+solver — so log lines and error payloads emitted seconds apart can be
+joined back into one story. Storage is a :mod:`contextvars` variable:
+
+* every asyncio task sees the id bound by the task that spawned it,
+  with no locking and no global mutable state;
+* worker threads do **not** inherit automatically — the submitting
+  layer passes the id explicitly and re-binds with :class:`bind_trace`
+  inside the worker.
+
+The registry itself stays trace-agnostic: counters are process-wide
+totals. Callers that want per-request attribution put the trace id in
+their event payloads (as :mod:`repro.service` does), not in counter
+names, so cardinality stays bounded.
+"""
+
+from __future__ import annotations
+
+import binascii
+import contextvars
+import os
+
+_TRACE: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+def current_trace_id() -> str | None:
+    """The trace id bound to the current context, or ``None``."""
+    return _TRACE.get()
+
+
+class bind_trace:
+    """Context manager binding a trace id to the current context.
+
+    Usage::
+
+        with bind_trace(trace_id):
+            handle_request()   # current_trace_id() == trace_id inside
+
+    Nesting restores the previous id on exit, so a sub-operation can
+    carry its own id without clobbering its parent's.
+    """
+
+    def __init__(self, trace_id: str | None) -> None:
+        self.trace_id = trace_id
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> str | None:
+        self._token = _TRACE.set(self.trace_id)
+        return self.trace_id
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._token is not None:
+            _TRACE.reset(self._token)
+            self._token = None
+        return False

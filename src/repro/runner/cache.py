@@ -15,6 +15,17 @@ atomically (temp file + ``os.replace``), so a crashed writer can never
 leave a half-entry that a later reader trusts. A corrupt or undecodable
 entry is treated as a miss and counted, never raised.
 
+Concurrency contract: any number of processes may read and write one
+cache directory at the same time. Every write lands under a fresh
+``mkstemp`` name and is published with a single atomic ``os.replace``,
+so readers observe either the previous complete entry or the new
+complete entry — never a torn mix — and racing writers of the same key
+resolve last-writer-wins (both wrote the same content-addressed value,
+so which rename lands last is immaterial). Within one process,
+:meth:`ResultCache.get_or_compute` additionally single-flights
+concurrent misses of the same key so a thundering herd computes the
+payload once.
+
 The cache is **off by default**: nothing in the library writes to disk
 unless the user passes ``--cache`` on a CLI, sets ``REPRO_CACHE_DIR``,
 or constructs a :class:`ResultCache` directly. Hit/miss/store counters
@@ -27,8 +38,10 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.obs import get_registry
 from repro.runner.serialize import (
@@ -77,6 +90,10 @@ class ResultCache:
     def __init__(self, directory: str | Path, salt: str | None = None) -> None:
         self.directory = Path(directory)
         self.salt = salt if salt is not None else default_salt()
+        # In-process single-flight state for get_or_compute: key -> the
+        # event its first computer will set once the entry is published.
+        self._inflight: dict[str, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
 
     def key(self, spec: Any) -> str:
         """Address of ``spec`` under this cache's salt."""
@@ -127,6 +144,67 @@ class ResultCache:
             raise
         get_registry().count("runner.cache.store")
         return path
+
+    def get_or_compute(
+        self, spec: Any, compute: Callable[[], Any]
+    ) -> Any:
+        """Payload for ``spec``, computing and storing it on a miss.
+
+        Concurrent callers within one process are single-flighted: the
+        first miss runs ``compute()`` while the rest block until the
+        entry is published, then read it from disk. If the computing
+        caller fails, one waiter is promoted to compute in its place.
+        Across processes the cache stays coordination-free: concurrent
+        writers both compute and the last ``os.replace`` wins, which is
+        harmless because the key addresses the content.
+        """
+        key = self.key(spec)
+        obs = get_registry()
+        while True:
+            payload = self.get(spec)
+            if payload is not MISS:
+                return payload
+            with self._inflight_lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    event = self._inflight[key] = threading.Event()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                obs.count("runner.cache.flight_waits")
+                event.wait()
+                continue
+            try:
+                payload = compute()
+                self.put(spec, payload)
+                return payload
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                event.set()
+
+    def purge_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Delete orphaned ``*.tmp`` files left by crashed writers.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaks its
+        temp file; entries themselves are never affected. Only files
+        older than ``max_age_s`` are removed so a live writer's
+        in-progress temp is never yanked out from under it. Returns the
+        number of files removed.
+        """
+        if not self.directory.exists():
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for tmp in self.directory.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def __contains__(self, spec: Any) -> bool:
         return self._path(self.key(spec)).exists()

@@ -110,8 +110,11 @@ def sweep(
     timeout_s:
         Per-attempt wall-clock limit, enforced only in process-pool
         mode (a serial in-process task cannot be interrupted safely).
-        A timed-out attempt counts against ``retries``; the abandoned
-        worker call is left to finish in the background.
+        A timed-out attempt counts against ``retries``. Because a
+        running process-pool call cannot be cancelled, a timeout
+        recycles the executor (counted under ``runner.pool_recycles``):
+        the abandoned call finishes in a discarded background pool
+        while the retry and all later tasks run on fresh workers.
     retries:
         Extra attempts after a failure or timeout before the sweep
         raises :class:`RunnerError`.
@@ -243,7 +246,24 @@ def _execute(
                         ) from None
                     attempts[position] += 1
                     obs.count("runner.retries")
-                    futures[position] = executor.submit(func, items[position])
+                    # A ProcessPoolExecutor cannot interrupt a running
+                    # call: the worker owning the timed-out task stays
+                    # occupied until the task finishes on its own, so
+                    # resubmitting to the same pool permanently loses one
+                    # worker per timeout — enough timeouts and the retry
+                    # itself queues behind the very task it is retrying.
+                    # Recycle instead: move every uncollected task to a
+                    # fresh executor and abandon the old pool without
+                    # waiting on it. In-flight work for later items is
+                    # redone, which is safe (retries already require the
+                    # function to tolerate re-execution).
+                    obs.count("runner.pool_recycles")
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(jobs, len(items) - position)
+                    )
+                    for tail in range(position, len(items)):
+                        futures[tail] = executor.submit(func, items[tail])
                 except Exception as error:  # noqa: BLE001
                     if attempts[position] > retries:
                         raise RunnerError(

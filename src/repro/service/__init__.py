@@ -1,0 +1,61 @@
+"""Simulation-as-a-service: the long-running control plane.
+
+The packages below turn the repro library from "a thing you run" into
+"a thing requests hit": a stdlib-only asyncio HTTP/JSON service that
+accepts simulation, sweep, and experiment requests, coalesces
+structurally-identical simulation requests into the batched solver
+paths (:func:`repro.thermal.solver.simulate_transient_batch`,
+:class:`repro.dcsim.thermal_coupling.BatchedClusterThermalState`),
+streams per-tick progress over chunked responses, enforces per-tenant
+token-bucket quotas, and deduplicates work through the
+content-addressed :class:`repro.runner.cache.ResultCache`.
+
+Layout:
+
+* :mod:`repro.service.api` — request/response schema and validation
+  (pure, no I/O);
+* :mod:`repro.service.quota` — per-tenant token buckets;
+* :mod:`repro.service.workers` — the supervised worker-thread pool;
+* :mod:`repro.service.batching` — request coalescing and the group
+  solvers that ride the batched library paths;
+* :mod:`repro.service.server` — the asyncio HTTP server and CLI entry
+  point (``python -m repro.service``);
+* :mod:`repro.service.smoke` — the scripted client session CI runs
+  against a live server.
+
+See ``docs/SERVICE.md`` for the HTTP API, quota model, batching rules,
+and deployment knobs.
+"""
+
+from repro.service.api import (
+    API_SCHEMA,
+    ApiError,
+    ClusterSpec,
+    ExperimentSpec,
+    ServiceRequest,
+    TransientSpec,
+    fingerprint_payload,
+    parse_request,
+    parse_spec,
+)
+from repro.service.quota import QuotaDecision, QuotaManager, TokenBucket
+from repro.service.server import ServiceConfig, SimulationService
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "API_SCHEMA",
+    "ApiError",
+    "ClusterSpec",
+    "ExperimentSpec",
+    "QuotaDecision",
+    "QuotaManager",
+    "ServiceConfig",
+    "ServiceRequest",
+    "SimulationService",
+    "TokenBucket",
+    "TransientSpec",
+    "WorkerPool",
+    "fingerprint_payload",
+    "parse_request",
+    "parse_spec",
+]

@@ -1,0 +1,92 @@
+"""``python -m repro.service`` — run one service process."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.service.server import ServiceConfig, serve_forever
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=(
+            "Long-running simulation control plane: coalesced batched "
+            "solves, per-tenant quotas, shared result cache. See "
+            "docs/SERVICE.md."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="solver worker threads"
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory shared with the CLI (default: off)",
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=2.0,
+        help="tokens refilled per second per tenant",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=float,
+        default=8.0,
+        help="token-bucket ceiling per tenant",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=50.0,
+        help="coalescing window; 0 disables coalescing",
+    )
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="default per-request wall-clock budget, seconds",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=args.cache,
+        quota_rate_per_s=args.quota_rate,
+        quota_burst=args.quota_burst,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        request_timeout_s=args.timeout,
+    )
+
+    async def run() -> None:
+        task = asyncio.ensure_future(serve_forever(config))
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, task.cancel)
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    asyncio.run(run())
+    print("repro.service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,553 @@
+"""Request/response schema of the simulation service (pure, no I/O).
+
+Every request body is JSON with a ``tenant`` and either one ``spec`` or
+a ``sweep`` (a base spec plus variant overrides). Specs are closed,
+validated dataclasses — the service never evaluates caller-supplied
+code or reaches outside the experiment registry and the platform
+builders. Three kinds exist:
+
+``transient``
+    One chassis transient (:func:`repro.thermal.solver
+    .simulate_transient_batch`): a platform, a constant utilization, a
+    wax loadout, a horizon. Structurally-identical requests (same
+    platform/wax/horizon grid) coalesce into one batched RK4 solve.
+``cluster``
+    One cluster tick-loop (:class:`repro.dcsim.thermal_coupling
+    .BatchedClusterThermalState`): a platform, server count, melting
+    point, utilization, tick grid. Requests sharing a platform, server
+    count, and tick length coalesce into one stacked state — each
+    member's trajectory is bit-identical to stepping it alone.
+``experiment``
+    One registered paper experiment by id, deduplicated through the
+    exact cache address the CLI uses
+    (:func:`repro.experiments.registry.experiment_cache_spec`).
+
+Responses carry payloads in the canonical tagged codec of
+:mod:`repro.runner.serialize` (arrays as base64 ``__ndarray__`` tags)
+plus a ``fingerprint``: the SHA-256 of the payload's canonical JSON.
+Two responses with equal fingerprints are byte-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar
+
+from repro.errors import ReproError
+from repro.runner.serialize import canonical_json
+
+#: Version tag of the service wire schema; breaking changes bump it.
+API_SCHEMA = "repro.service/1"
+
+#: Platforms a spec may name (the registry in ``repro.server.configs``).
+PLATFORMS = ("1u", "2u", "ocp")
+
+#: Melting points the material blender accepts, degrees C.
+MELTING_RANGE_C = (35.0, 62.0)
+
+#: Hard caps keeping one request's work bounded.
+MAX_SWEEP_VARIANTS = 256
+MAX_TRANSIENT_SAMPLES = 100_000
+MAX_CLUSTER_TICKS = 1_000_000
+MAX_CLUSTER_SERVERS = 4096
+MAX_TENANT_CHARS = 64
+
+
+class ApiError(ReproError):
+    """A request failed validation; ``code`` names the machine-readable
+    reason and maps onto the HTTP status the server replies with."""
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ApiError(message)
+
+
+def _number(payload: dict, key: str, default: float) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(f"{key!r} must be a number, got {value!r}")
+    if not math.isfinite(float(value)):
+        raise ApiError(f"{key!r} must be finite, got {value!r}")
+    return float(value)
+
+
+def _integer(payload: dict, key: str, default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(f"{key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _boolean(payload: dict, key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ApiError(f"{key!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _reject_unknown(payload: dict, allowed: set[str], kind: str) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ApiError(
+            f"unknown {kind} spec field(s) {unknown}; allowed: "
+            f"{sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class TransientSpec:
+    """One chassis transient simulation request."""
+
+    kind: ClassVar[str] = "transient"
+
+    platform: str = "1u"
+    utilization: float = 0.8
+    with_wax: bool = True
+    melting_point_c: float | None = None
+    grille_blockage: float = 0.0
+    duration_s: float = 900.0
+    output_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.platform in PLATFORMS,
+            f"unknown platform {self.platform!r}; choose from "
+            f"{list(PLATFORMS)}",
+        )
+        _require(
+            0.0 <= self.utilization <= 1.0,
+            f"utilization must lie in [0, 1], got {self.utilization}",
+        )
+        _require(
+            0.0 <= self.grille_blockage <= 0.9,
+            f"grille_blockage must lie in [0, 0.9], got "
+            f"{self.grille_blockage}",
+        )
+        if self.melting_point_c is not None:
+            low, high = MELTING_RANGE_C
+            _require(
+                low <= self.melting_point_c <= high,
+                f"melting_point_c must lie in [{low}, {high}], got "
+                f"{self.melting_point_c}",
+            )
+            _require(
+                self.with_wax,
+                "melting_point_c requires with_wax=true",
+            )
+        _require(
+            self.duration_s > 0.0,
+            f"duration_s must be positive, got {self.duration_s}",
+        )
+        _require(
+            self.output_interval_s > 0.0,
+            f"output_interval_s must be positive, got "
+            f"{self.output_interval_s}",
+        )
+        _require(
+            self.duration_s / self.output_interval_s <= MAX_TRANSIENT_SAMPLES,
+            f"duration_s / output_interval_s exceeds "
+            f"{MAX_TRANSIENT_SAMPLES} output samples",
+        )
+
+    @classmethod
+    def parse(cls, payload: dict) -> "TransientSpec":
+        _reject_unknown(
+            payload,
+            {
+                "kind",
+                "platform",
+                "utilization",
+                "with_wax",
+                "melting_point_c",
+                "grille_blockage",
+                "duration_s",
+                "output_interval_s",
+            },
+            cls.kind,
+        )
+        platform = payload.get("platform", "1u")
+        if not isinstance(platform, str):
+            raise ApiError(f"'platform' must be a string, got {platform!r}")
+        melting = payload.get("melting_point_c")
+        if melting is not None:
+            melting = _number(payload, "melting_point_c", 0.0)
+        return cls(
+            platform=platform.lower(),
+            utilization=_number(payload, "utilization", 0.8),
+            with_wax=_boolean(payload, "with_wax", True),
+            melting_point_c=melting,
+            grille_blockage=_number(payload, "grille_blockage", 0.0),
+            duration_s=_number(payload, "duration_s", 900.0),
+            output_interval_s=_number(payload, "output_interval_s", 60.0),
+        )
+
+    def payload(self) -> dict[str, Any]:
+        """The spec as a canonical JSON-able dict (includes ``kind``)."""
+        return {
+            "kind": self.kind,
+            "platform": self.platform,
+            "utilization": self.utilization,
+            "with_wax": self.with_wax,
+            "melting_point_c": self.melting_point_c,
+            "grille_blockage": self.grille_blockage,
+            "duration_s": self.duration_s,
+            "output_interval_s": self.output_interval_s,
+        }
+
+    def group_key(self) -> str:
+        """Coalescing group: requests that may share one batched solve.
+
+        Everything that fixes the network *structure* and the output
+        grid is in the key; utilization, melting point, and blockage
+        vary per member (they change operator values, not structure).
+        """
+        return canonical_json(
+            {
+                "kind": self.kind,
+                "platform": self.platform,
+                "with_wax": self.with_wax,
+                "duration_s": self.duration_s,
+                "output_interval_s": self.output_interval_s,
+            }
+        )
+
+    def cost(self) -> float:
+        """Quota tokens one instance of this spec consumes."""
+        return 1.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster thermal tick-loop request."""
+
+    kind: ClassVar[str] = "cluster"
+
+    platform: str = "1u"
+    server_count: int = 96
+    melting_point_c: float = 43.0
+    utilization: float = 0.7
+    inlet_temperature_c: float = 25.0
+    wax_enabled: bool = True
+    frequency_ghz: float = 2.4
+    ticks: int = 60
+    tick_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.platform in PLATFORMS,
+            f"unknown platform {self.platform!r}; choose from "
+            f"{list(PLATFORMS)}",
+        )
+        _require(
+            1 <= self.server_count <= MAX_CLUSTER_SERVERS,
+            f"server_count must lie in [1, {MAX_CLUSTER_SERVERS}], got "
+            f"{self.server_count}",
+        )
+        low, high = MELTING_RANGE_C
+        _require(
+            low <= self.melting_point_c <= high,
+            f"melting_point_c must lie in [{low}, {high}], got "
+            f"{self.melting_point_c}",
+        )
+        _require(
+            0.0 <= self.utilization <= 1.0,
+            f"utilization must lie in [0, 1], got {self.utilization}",
+        )
+        _require(
+            -20.0 <= self.inlet_temperature_c <= 60.0,
+            f"inlet_temperature_c must lie in [-20, 60], got "
+            f"{self.inlet_temperature_c}",
+        )
+        _require(
+            0.1 <= self.frequency_ghz <= 10.0,
+            f"frequency_ghz must lie in [0.1, 10], got "
+            f"{self.frequency_ghz}",
+        )
+        _require(
+            1 <= self.ticks <= MAX_CLUSTER_TICKS,
+            f"ticks must lie in [1, {MAX_CLUSTER_TICKS}], got {self.ticks}",
+        )
+        _require(
+            self.tick_s > 0.0,
+            f"tick_s must be positive, got {self.tick_s}",
+        )
+
+    @classmethod
+    def parse(cls, payload: dict) -> "ClusterSpec":
+        _reject_unknown(
+            payload,
+            {
+                "kind",
+                "platform",
+                "server_count",
+                "melting_point_c",
+                "utilization",
+                "inlet_temperature_c",
+                "wax_enabled",
+                "frequency_ghz",
+                "ticks",
+                "tick_s",
+            },
+            cls.kind,
+        )
+        platform = payload.get("platform", "1u")
+        if not isinstance(platform, str):
+            raise ApiError(f"'platform' must be a string, got {platform!r}")
+        return cls(
+            platform=platform.lower(),
+            server_count=_integer(payload, "server_count", 96),
+            melting_point_c=_number(payload, "melting_point_c", 43.0),
+            utilization=_number(payload, "utilization", 0.7),
+            inlet_temperature_c=_number(payload, "inlet_temperature_c", 25.0),
+            wax_enabled=_boolean(payload, "wax_enabled", True),
+            frequency_ghz=_number(payload, "frequency_ghz", 2.4),
+            ticks=_integer(payload, "ticks", 60),
+            tick_s=_number(payload, "tick_s", 60.0),
+        )
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "platform": self.platform,
+            "server_count": self.server_count,
+            "melting_point_c": self.melting_point_c,
+            "utilization": self.utilization,
+            "inlet_temperature_c": self.inlet_temperature_c,
+            "wax_enabled": self.wax_enabled,
+            "frequency_ghz": self.frequency_ghz,
+            "ticks": self.ticks,
+            "tick_s": self.tick_s,
+        }
+
+    def group_key(self) -> str:
+        """Requests sharing platform, shape, and tick length coalesce;
+        materials, utilization, inlet, DVFS, and horizon vary per
+        member along the stacked cluster axis."""
+        return canonical_json(
+            {
+                "kind": self.kind,
+                "platform": self.platform,
+                "server_count": self.server_count,
+                "tick_s": self.tick_s,
+            }
+        )
+
+    def cost(self) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered paper experiment by id."""
+
+    kind: ClassVar[str] = "experiment"
+
+    experiment_id: str = "table1"
+    quick: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.experiments.registry import all_experiment_ids
+
+        _require(
+            self.experiment_id in all_experiment_ids(),
+            f"unknown experiment {self.experiment_id!r}; choose from "
+            f"{all_experiment_ids()}",
+        )
+
+    @classmethod
+    def parse(cls, payload: dict) -> "ExperimentSpec":
+        _reject_unknown(
+            payload, {"kind", "experiment_id", "quick"}, cls.kind
+        )
+        experiment_id = payload.get("experiment_id")
+        if not isinstance(experiment_id, str):
+            raise ApiError(
+                f"'experiment_id' must be a string, got {experiment_id!r}"
+            )
+        return cls(
+            experiment_id=experiment_id,
+            quick=_boolean(payload, "quick", True),
+        )
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "experiment_id": self.experiment_id,
+            "quick": self.quick,
+        }
+
+    def group_key(self) -> None:
+        """Experiments never share a solve; dedup is cache-level only."""
+        return None
+
+    def cost(self) -> float:
+        # A full experiment is orders of magnitude more work than one
+        # simulation; make it spend tokens accordingly.
+        return 4.0
+
+
+Spec = TransientSpec | ClusterSpec | ExperimentSpec
+
+_SPEC_KINDS: dict[str, type] = {
+    TransientSpec.kind: TransientSpec,
+    ClusterSpec.kind: ClusterSpec,
+    ExperimentSpec.kind: ExperimentSpec,
+}
+
+
+def parse_spec(payload: Any) -> Spec:
+    """Parse and validate one spec dict (dispatches on ``kind``)."""
+    if not isinstance(payload, dict):
+        raise ApiError(f"spec must be an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    spec_cls = _SPEC_KINDS.get(kind)
+    if spec_cls is None:
+        raise ApiError(
+            f"unknown spec kind {kind!r}; choose from "
+            f"{sorted(_SPEC_KINDS)}"
+        )
+    return spec_cls.parse(payload)
+
+
+def cache_spec(spec: Spec) -> dict[str, Any]:
+    """The content address a spec's result is stored (and deduplicated)
+    under in the shared :class:`~repro.runner.cache.ResultCache`.
+
+    Experiment specs use the registry's own address
+    (:func:`repro.experiments.registry.experiment_cache_spec`), so a
+    point computed by ``repro-experiments --cache`` answers service
+    requests and vice versa. Simulation specs get a service-schema
+    envelope of their canonical payload.
+    """
+    if isinstance(spec, ExperimentSpec):
+        from repro.experiments.registry import experiment_cache_spec
+
+        return experiment_cache_spec(spec.experiment_id, spec.quick)
+    return {
+        "kind": "service-job",
+        "schema": API_SCHEMA,
+        "job": spec.payload(),
+    }
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """SHA-256 of a payload's canonical JSON — equal fingerprints mean
+    byte-identical results."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+def _valid_tenant(tenant: Any) -> bool:
+    return (
+        isinstance(tenant, str)
+        and 0 < len(tenant) <= MAX_TENANT_CHARS
+        and all(c.isalnum() or c in "._-" for c in tenant)
+    )
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """A validated submission: one tenant, one or more specs."""
+
+    tenant: str
+    specs: tuple[Spec, ...]
+    stream: bool = False
+    timeout_s: float | None = None
+
+    @property
+    def cost(self) -> float:
+        return sum(spec.cost() for spec in self.specs)
+
+
+def _merge_variant(base: dict, variant: Any, index: int) -> dict:
+    if not isinstance(variant, dict):
+        raise ApiError(
+            f"sweep variant {index} must be an object, got "
+            f"{type(variant).__name__}"
+        )
+    if "kind" in variant and variant["kind"] != base.get("kind"):
+        raise ApiError(
+            f"sweep variant {index} changes 'kind'; variants may only "
+            f"override fields of the base spec"
+        )
+    merged = dict(base)
+    merged.update(variant)
+    return merged
+
+
+def parse_request(body: Any) -> ServiceRequest:
+    """Parse and validate a full request body.
+
+    Accepts either ``{"tenant", "spec": {...}}`` or
+    ``{"tenant", "sweep": {"base": {...}, "variants": [{...}, ...]}}``
+    plus optional ``stream`` and ``timeout_s``. Raises
+    :class:`ApiError` (mapped to HTTP 400) on anything malformed.
+    """
+    if not isinstance(body, dict):
+        raise ApiError("request body must be a JSON object")
+    allowed = {"tenant", "spec", "sweep", "stream", "timeout_s"}
+    unknown = sorted(set(body) - allowed)
+    if unknown:
+        raise ApiError(
+            f"unknown request field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+    tenant = body.get("tenant")
+    if not _valid_tenant(tenant):
+        raise ApiError(
+            "'tenant' must be 1-64 characters of [A-Za-z0-9._-]",
+            code="bad_tenant",
+        )
+    stream = _boolean(body, "stream", False)
+    timeout_s = body.get("timeout_s")
+    if timeout_s is not None:
+        timeout_s = _number(body, "timeout_s", 0.0)
+        _require(timeout_s > 0.0, "timeout_s must be positive")
+
+    has_spec = "spec" in body
+    has_sweep = "sweep" in body
+    if has_spec == has_sweep:
+        raise ApiError("request must carry exactly one of 'spec' or 'sweep'")
+
+    if has_spec:
+        specs: tuple[Spec, ...] = (parse_spec(body["spec"]),)
+    else:
+        sweep = body["sweep"]
+        if not isinstance(sweep, dict):
+            raise ApiError("'sweep' must be an object")
+        _reject_unknown(sweep, {"base", "variants"}, "sweep")
+        base = sweep.get("base")
+        if not isinstance(base, dict):
+            raise ApiError("'sweep.base' must be a spec object")
+        variants = sweep.get("variants")
+        if not isinstance(variants, list) or not variants:
+            raise ApiError("'sweep.variants' must be a non-empty array")
+        if len(variants) > MAX_SWEEP_VARIANTS:
+            raise ApiError(
+                f"sweep carries {len(variants)} variants; the limit is "
+                f"{MAX_SWEEP_VARIANTS}",
+                code="sweep_too_large",
+            )
+        specs = tuple(
+            parse_spec(_merge_variant(base, variant, index))
+            for index, variant in enumerate(variants)
+        )
+    return ServiceRequest(
+        tenant=tenant, specs=specs, stream=stream, timeout_s=timeout_s
+    )
+
+
+def spec_with(spec: Spec, **overrides: Any) -> Spec:
+    """A copy of ``spec`` with fields replaced (re-validated)."""
+    valid = {f.name for f in fields(spec)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ApiError(f"unknown spec field(s) {unknown}")
+    return replace(spec, **overrides)

@@ -1,0 +1,150 @@
+"""Per-tenant token-bucket quotas.
+
+One :class:`TokenBucket` per tenant refills continuously at
+``rate_per_s`` up to a ``burst`` ceiling; each admitted request spends
+tokens equal to its cost (one per simulation spec, more for full
+experiments — see ``Spec.cost()``). A request that cannot be paid for
+right now is refused with a ``retry_after_s`` telling the client when
+enough tokens will have accrued — the server surfaces that as HTTP 429
+with a ``Retry-After`` header.
+
+The clock is injectable (any ``() -> float`` monotonic-seconds
+callable), so quota math is testable without sleeping, and the manager
+is thread-safe: the asyncio handler and worker threads may consult it
+concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """Outcome of asking a bucket to pay for a request.
+
+    ``retry_after_s`` is 0 when admitted, the wait until the bucket can
+    pay when refused, and ``inf`` when the cost exceeds the burst
+    ceiling (no amount of waiting will ever admit the request).
+    """
+
+    allowed: bool
+    retry_after_s: float = 0.0
+
+    @property
+    def satisfiable(self) -> bool:
+        """Whether waiting ``retry_after_s`` could ever admit this cost."""
+        return self.allowed or math.isfinite(self.retry_after_s)
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket.
+
+    Starts full. Not thread-safe by itself —
+    :class:`QuotaManager` serializes access; use it directly only from
+    one thread (or under your own lock).
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_clock", "_tokens", "_stamp")
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+        if burst <= 0.0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0.0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate_per_s
+            )
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, cost: float = 1.0) -> QuotaDecision:
+        """Spend ``cost`` tokens if available, else refuse with a wait."""
+        if cost <= 0.0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._refill()
+        if cost > self.burst:
+            # Even a full bucket cannot pay; waiting is pointless.
+            return QuotaDecision(allowed=False, retry_after_s=math.inf)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return QuotaDecision(allowed=True)
+        deficit = cost - self._tokens
+        return QuotaDecision(
+            allowed=False, retry_after_s=deficit / self.rate_per_s
+        )
+
+
+class QuotaManager:
+    """Lazily creates and consults one bucket per tenant (thread-safe).
+
+    ``overrides`` maps tenant names to ``(rate_per_s, burst)`` pairs for
+    tenants whose quota differs from the default.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+        overrides: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._overrides = dict(overrides or {})
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (created full on first sight)."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(
+                    tenant, (self.rate_per_s, self.burst)
+                )
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, cost: float = 1.0) -> QuotaDecision:
+        """Try to pay for one request by ``tenant``."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(
+                    tenant, (self.rate_per_s, self.burst)
+                )
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket.try_take(cost)
+
+    def tenants(self) -> list[str]:
+        """Tenants seen so far (sorted)."""
+        with self._lock:
+            return sorted(self._buckets)

@@ -1,0 +1,538 @@
+"""The asyncio HTTP/JSON control plane.
+
+Stdlib only — ``asyncio.start_server`` plus a deliberately minimal
+HTTP/1.1 layer (request line, headers, ``Content-Length`` body,
+``Connection: close``) — because the service's value is in the layers
+behind it (coalescing, quotas, the shared cache), not in routing.
+
+Request lifecycle for ``POST /v1/jobs``:
+
+1. parse and validate the body (:func:`repro.service.api.parse_request`
+   — HTTP 400 on anything malformed);
+2. charge the tenant's token bucket (HTTP 429 + ``Retry-After`` when
+   broke; admission is all-or-nothing per request, so an over-quota
+   sweep never half-runs);
+3. submit every spec to the :class:`~repro.service.batching.Coalescer`
+   (cache hits resolve instantly; identical in-flight specs join);
+4. stream progress as chunked NDJSON (``stream: true``) or await all
+   results and answer with one JSON document;
+5. release the request's waiter references — on success, timeout
+   (HTTP 504), *or* client disconnect — so jobs nobody is waiting for
+   get cancelled instead of burning workers.
+
+Every request gets a trace id (``X-Trace-Id`` response header, bound
+via :mod:`repro.obs.trace` for the handler's lifetime and carried onto
+the worker thread that solves for it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.obs import bind_trace, new_trace_id
+from repro.runner.cache import ResultCache, resolve_cache
+from repro.runner.serialize import encode
+from repro.service.api import (
+    API_SCHEMA,
+    ApiError,
+    ServiceRequest,
+    parse_request,
+)
+from repro.service.batching import Coalescer, Job, JobCancelled, JobOutcome
+from repro.service.quota import QuotaManager
+from repro.service.workers import WorkerPool
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class _ClientGone(Exception):
+    """The client disconnected mid-request."""
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs of one service process (see docs/SERVICE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    #: Shared result cache: a ResultCache, a directory path, or None
+    #: (no cross-request dedup; in-flight dedup still applies).
+    cache: ResultCache | str | Path | None = None
+    quota_rate_per_s: float = 2.0
+    quota_burst: float = 8.0
+    #: Quota overrides per tenant: name -> (rate_per_s, burst).
+    quota_overrides: dict[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+    #: Coalescing window opened by a group's first request; 0 disables
+    #: coalescing (every request solves alone).
+    window_s: float = 0.05
+    max_batch: int = 64
+    #: Default wall-clock budget per request; a request's ``timeout_s``
+    #: may shorten (never extend) it.
+    request_timeout_s: float = 300.0
+    max_body_bytes: int = 4 * 1024 * 1024
+
+
+class SimulationService:
+    """One service process: HTTP front, coalescer, worker pool, cache."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = resolve_cache(self.config.cache)
+        self.quota = QuotaManager(
+            self.config.quota_rate_per_s,
+            self.config.quota_burst,
+            overrides=self.config.quota_overrides,
+        )
+        self.pool: WorkerPool | None = None
+        self.coalescer: Coalescer | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        # The service's /stats route and the coalescing tests read the
+        # process-global registry; a control plane with dark counters is
+        # not worth the nanoseconds, so collection is always on here.
+        obs.enable()
+        self.pool = WorkerPool(workers=self.config.workers)
+        self.coalescer = Coalescer(
+            self.pool,
+            self.cache,
+            window_s=self.config.window_s,
+            max_batch=self.config.max_batch,
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        if self.coalescer is not None:
+            self.coalescer.flush_all()
+        if self.pool is not None:
+            self.pool.shutdown()
+        self.pool = None
+        self.coalescer = None
+
+    async def __aenter__(self) -> "SimulationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        trace_id = new_trace_id()
+        try:
+            with bind_trace(trace_id):
+                await self._handle_request(reader, writer, trace_id)
+        except (_ClientGone, ConnectionError, asyncio.IncompleteReadError):
+            obs.count("service.disconnects")
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        trace_id: str,
+    ) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.LimitOverrunError, asyncio.IncompleteReadError):
+            return
+        if len(head) > _MAX_HEADER_BYTES:
+            await self._respond(
+                writer, 431, {"error": "headers too large"}, trace_id
+            )
+            return
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request line"}, trace_id
+            )
+            return
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        obs.count("service.requests")
+        route = (method.upper(), target.split("?", 1)[0])
+        if route == ("GET", "/healthz"):
+            await self._respond(writer, 200, self._health(), trace_id)
+        elif route == ("GET", "/stats"):
+            await self._respond(writer, 200, self._stats(), trace_id)
+        elif route == ("GET", "/v1/experiments"):
+            from repro.experiments.registry import all_experiment_ids
+
+            await self._respond(
+                writer,
+                200,
+                {"schema": API_SCHEMA, "experiments": all_experiment_ids()},
+                trace_id,
+            )
+        elif route == ("POST", "/v1/jobs"):
+            await self._handle_jobs(reader, writer, headers, trace_id)
+        else:
+            await self._respond(
+                writer,
+                404,
+                {"error": f"no route for {method} {target}"},
+                trace_id,
+            )
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "schema": API_SCHEMA,
+            "workers_alive": self.pool.alive if self.pool else 0,
+            "cache": self.cache is not None,
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        report = obs.snapshot()
+        service_counters = {
+            name: value
+            for name, value in report.counters.items()
+            if name.startswith(("service.", "runner.", "solver."))
+        }
+        return {
+            "schema": API_SCHEMA,
+            "counters": service_counters,
+            "inflight": self.coalescer.inflight if self.coalescer else 0,
+            "tenants": self.quota.tenants(),
+        }
+
+    # -- the job route -----------------------------------------------------
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes | None:
+        try:
+            length = int(headers.get("content-length", ""))
+        except ValueError:
+            return None
+        if length < 0 or length > self.config.max_body_bytes:
+            return None
+        return await reader.readexactly(length)
+
+    async def _handle_jobs(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        trace_id: str,
+    ) -> None:
+        body = await self._read_body(reader, headers)
+        if body is None:
+            await self._respond(
+                writer,
+                413,
+                {
+                    "error": "missing/invalid Content-Length or body "
+                    f"over {self.config.max_body_bytes} bytes"
+                },
+                trace_id,
+            )
+            return
+        try:
+            request = parse_request(json.loads(body.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError):
+            await self._respond(
+                writer, 400, {"error": "body is not valid JSON"}, trace_id
+            )
+            return
+        except ApiError as exc:
+            obs.count("service.rejected.invalid")
+            await self._respond(
+                writer, 400, {"error": str(exc), "code": exc.code}, trace_id
+            )
+            return
+
+        decision = self.quota.admit(request.tenant, request.cost)
+        if not decision.allowed:
+            obs.count("service.rejected.quota")
+            extra_headers = {}
+            if math.isfinite(decision.retry_after_s):
+                extra_headers["Retry-After"] = str(
+                    max(1, math.ceil(decision.retry_after_s))
+                )
+            await self._respond(
+                writer,
+                429,
+                {
+                    "error": f"tenant {request.tenant!r} is over quota",
+                    "code": "over_quota",
+                    "retry_after_s": decision.retry_after_s
+                    if math.isfinite(decision.retry_after_s)
+                    else None,
+                    "satisfiable": decision.satisfiable,
+                },
+                trace_id,
+                extra_headers=extra_headers,
+            )
+            return
+
+        assert self.coalescer is not None
+        jobs = [self.coalescer.submit(spec) for spec in request.specs]
+        timeout_s = self.config.request_timeout_s
+        if request.timeout_s is not None:
+            timeout_s = min(timeout_s, request.timeout_s)
+        try:
+            if request.stream:
+                await self._stream_jobs(
+                    reader, writer, jobs, timeout_s, trace_id
+                )
+            else:
+                await self._await_jobs(writer, jobs, timeout_s, trace_id)
+        finally:
+            for job in jobs:
+                job.release()
+
+    @staticmethod
+    def _outcome_event(index: int, job: Job) -> dict[str, Any]:
+        exc = job.future.exception()
+        if exc is None:
+            outcome: JobOutcome = job.future.result()
+            return {
+                "event": "result",
+                "index": index,
+                "fingerprint": outcome.fingerprint,
+                "cached": outcome.cached,
+                "batch_size": outcome.batch_size,
+                "payload": outcome.payload,
+            }
+        kind = "cancelled" if isinstance(exc, JobCancelled) else "error"
+        return {"event": kind, "index": index, "error": str(exc)}
+
+    async def _await_jobs(
+        self,
+        writer: asyncio.StreamWriter,
+        jobs: list[Job],
+        timeout_s: float,
+        trace_id: str,
+    ) -> None:
+        futures = [asyncio.wrap_future(job.future) for job in jobs]
+        done, pending = await asyncio.wait(futures, timeout=timeout_s)
+        if pending:
+            obs.count("service.timeouts")
+            for future in pending:
+                future.cancel()
+            await self._respond(
+                writer,
+                504,
+                {
+                    "error": f"request exceeded {timeout_s:g}s",
+                    "code": "timeout",
+                },
+                trace_id,
+            )
+            return
+        results = [self._outcome_event(i, job) for i, job in enumerate(jobs)]
+        status = 200 if all(r["event"] == "result" for r in results) else 207
+        await self._respond(
+            writer,
+            status,
+            {"schema": API_SCHEMA, "trace_id": trace_id, "results": results},
+            trace_id,
+        )
+
+    async def _stream_jobs(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        jobs: list[Job],
+        timeout_s: float,
+        trace_id: str,
+    ) -> None:
+        merged: asyncio.Queue = asyncio.Queue()
+
+        async def pump(index: int, job: Job) -> None:
+            queue = job.subscribe()
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                merged.put_nowait({**event, "index": index})
+            merged.put_nowait({"__done__": index})
+
+        pumps = [
+            asyncio.ensure_future(pump(index, job))
+            for index, job in enumerate(jobs)
+        ]
+        # With the full request consumed and Connection: close semantics,
+        # the only bytes this read ever yields come from the client going
+        # away; it doubles as the disconnect signal.
+        sentinel = asyncio.ensure_future(reader.read(1))
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n"
+            b"X-Trace-Id: " + trace_id.encode("ascii") + b"\r\n\r\n"
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        try:
+            await self._write_chunk(
+                writer,
+                {
+                    "event": "accepted",
+                    "schema": API_SCHEMA,
+                    "trace_id": trace_id,
+                    "jobs": len(jobs),
+                },
+            )
+            finished = 0
+            while finished < len(jobs):
+                getter = asyncio.ensure_future(merged.get())
+                done, _ = await asyncio.wait(
+                    {getter, sentinel},
+                    timeout=max(0.0, deadline - loop.time()),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if sentinel in done:
+                    getter.cancel()
+                    raise _ClientGone
+                if not done:
+                    getter.cancel()
+                    obs.count("service.timeouts")
+                    await self._write_chunk(
+                        writer,
+                        {"event": "timeout", "timeout_s": timeout_s},
+                    )
+                    break
+                event = getter.result()
+                index = event.pop("__done__", None)
+                if index is not None:
+                    finished += 1
+                    await self._write_chunk(
+                        writer, self._outcome_event(index, jobs[index])
+                    )
+                else:
+                    await self._write_chunk(writer, event)
+            await self._write_chunk(writer, {"event": "end"})
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            sentinel.cancel()
+            for task in pumps:
+                task.cancel()
+
+    # -- low-level responses -----------------------------------------------
+
+    @staticmethod
+    async def _write_chunk(
+        writer: asyncio.StreamWriter, event: dict[str, Any]
+    ) -> None:
+        data = (
+            json.dumps(encode(event), ensure_ascii=True) + "\n"
+        ).encode("utf-8")
+        try:
+            writer.write(f"{len(data):x}\r\n".encode("ascii"))
+            writer.write(data)
+            writer.write(b"\r\n")
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise _ClientGone from exc
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        trace_id: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        obs.count(f"service.responses.{status}")
+        reasons = {
+            200: "OK",
+            207: "Multi-Status",
+            400: "Bad Request",
+            404: "Not Found",
+            413: "Payload Too Large",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
+            504: "Gateway Timeout",
+        }
+        body = json.dumps(encode(payload), ensure_ascii=True).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {reasons.get(status, 'Response')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"X-Trace-Id: {trace_id}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        try:
+            writer.write(
+                ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise _ClientGone from exc
+
+
+async def serve_forever(config: ServiceConfig) -> None:
+    """Run a service until cancelled (the ``python -m repro.service`` body)."""
+    async with SimulationService(config) as service:
+        print(
+            f"repro.service listening on "
+            f"http://{config.host}:{service.port}",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass

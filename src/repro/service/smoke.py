@@ -1,0 +1,195 @@
+"""Scripted end-to-end smoke session against a live service process.
+
+``python -m repro.service.smoke`` boots a real server subprocess on a
+free port and drives one scripted client session through the moves an
+operator cares about: health check, a simulation round trip, a cache
+hit on resubmission, a streamed request abandoned mid-stream, an
+over-quota burst, and a clean SIGINT shutdown. CI runs this as the
+service lane; any step failing exits non-zero with a diagnosis.
+
+The client side is deliberately primitive — ``http.client`` for unary
+calls and a raw socket for the stream it abandons — so the smoke test
+exercises the server's HTTP layer, not a forgiving client library.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+_STARTUP_TIMEOUT_S = 60.0
+_CLUSTER_SPEC = {
+    "kind": "cluster",
+    "platform": "1u",
+    "server_count": 8,
+    "melting_point_c": 43.0,
+    "utilization": 0.7,
+    "ticks": 30,
+    "tick_s": 60.0,
+}
+
+
+def _fail(step: str, detail: str) -> None:
+    print(f"SMOKE FAIL [{step}]: {detail}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _request(
+    port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict, dict]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    payload = json.dumps(body).encode() if body is not None else None
+    connection.request(
+        method,
+        path,
+        body=payload,
+        headers={"Content-Type": "application/json"} if payload else {},
+    )
+    response = connection.getresponse()
+    headers = {k.lower(): v for k, v in response.getheaders()}
+    data = json.loads(response.read().decode())
+    connection.close()
+    return response.status, data, headers
+
+
+def _submit(port: int, tenant: str, spec: dict) -> tuple[int, dict]:
+    status, body, _ = _request(
+        port, "POST", "/v1/jobs", {"tenant": tenant, "spec": spec}
+    )
+    return status, body
+
+
+def _abandon_stream(port: int, tenant: str) -> None:
+    """Open a streamed request, read the first events, hang up."""
+    body = json.dumps(
+        {
+            "tenant": tenant,
+            "stream": True,
+            "spec": {**_CLUSTER_SPEC, "ticks": 5000, "utilization": 0.31},
+        }
+    ).encode()
+    sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+    sock.sendall(
+        b"POST /v1/jobs HTTP/1.1\r\nHost: smoke\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+    )
+    received = b""
+    while b'"progress"' not in received:
+        chunk = sock.recv(4096)
+        if not chunk:
+            _fail("stream", "connection closed before any progress event")
+        received += chunk
+    sock.close()  # mid-stream disconnect: the service must cancel the job
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--port",
+                "0",
+                "--cache",
+                f"{tmp}/cache",
+                "--window-ms",
+                "20",
+                "--quota-rate",
+                "1",
+                "--quota-burst",
+                "4",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            return _drive(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+
+def _drive(process: subprocess.Popen) -> int:
+    assert process.stdout is not None
+    deadline = time.monotonic() + _STARTUP_TIMEOUT_S
+    banner = process.stdout.readline()
+    match = re.search(r"listening on http://127\.0\.0\.1:(\d+)", banner)
+    if not match or time.monotonic() > deadline:
+        _fail("startup", f"no listen banner, got {banner!r}")
+    port = int(match.group(1))
+    print(f"smoke: server up on port {port}")
+
+    status, health, _ = _request(port, "GET", "/healthz")
+    if status != 200 or not health.get("ok"):
+        _fail("healthz", f"status={status} body={health}")
+    print("smoke: healthz ok")
+
+    status, body = _submit(port, "smoke-a", _CLUSTER_SPEC)
+    if status != 200:
+        _fail("submit", f"status={status} body={body}")
+    result = body["results"][0]
+    if result["event"] != "result" or result["cached"]:
+        _fail("submit", f"expected fresh result, got {result['event']}")
+    fingerprint = result["fingerprint"]
+    print(f"smoke: first solve ok, fingerprint {fingerprint[:12]}")
+
+    status, body = _submit(port, "smoke-a", _CLUSTER_SPEC)
+    result = body["results"][0]
+    if status != 200 or not result["cached"]:
+        _fail("cache", f"resubmission was not a cache hit: {result}")
+    if result["fingerprint"] != fingerprint:
+        _fail("cache", "cache hit changed the fingerprint")
+    print("smoke: resubmission answered from cache, fingerprint unchanged")
+
+    _abandon_stream(port, "smoke-a")
+    print("smoke: streamed request abandoned mid-flight")
+
+    saw_429 = False
+    for _ in range(8):
+        status, body = _submit(
+            port, "smoke-b", {**_CLUSTER_SPEC, "ticks": 3}
+        )
+        if status == 429:
+            if body.get("code") != "over_quota":
+                _fail("quota", f"429 without over_quota code: {body}")
+            saw_429 = True
+            break
+        if status != 200:
+            _fail("quota", f"unexpected status {status}: {body}")
+    if not saw_429:
+        _fail("quota", "burst of 8 requests never hit the quota limit")
+    print("smoke: over-quota burst rejected with 429")
+
+    status, stats, _ = _request(port, "GET", "/stats")
+    if status != 200 or "service.solves" not in stats.get("counters", {}):
+        _fail("stats", f"status={status} body={stats}")
+    print(f"smoke: stats ok ({stats['counters']})")
+
+    process.send_signal(signal.SIGINT)
+    try:
+        code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        _fail("shutdown", "server did not exit within 30s of SIGINT")
+    tail = process.stdout.read()
+    if code != 0:
+        _fail("shutdown", f"exit code {code}; output tail: {tail!r}")
+    if "repro.service stopped" not in tail:
+        _fail("shutdown", f"missing clean-stop banner; tail: {tail!r}")
+    print("smoke: clean shutdown")
+    print("SMOKE PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The supervised worker-thread pool the service runs solves on.
+
+Threads, not processes, on purpose: solver time is spent inside numpy
+(which releases the GIL for the operations that dominate), results need
+no pickling, and — load-bearing for the tests and for operators — the
+workers share the process-global :mod:`repro.obs` registry, so solver
+invocation counters observed by one thread are visible to all. The
+horizontal-scale story is several service *processes* sharing one
+:class:`~repro.runner.cache.ResultCache` directory, not more threads.
+
+Supervision: a dedicated supervisor thread watches the workers and
+respawns any that die of an escaped exception (counted under
+``service.workers.restarts``). Job exceptions themselves do not kill
+workers — they land in the job's future — so a restart signals a bug in
+the pool, not in a job; the pool still self-heals rather than silently
+shrinking.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro import obs
+from repro.obs import bind_trace
+
+_POISON = object()
+
+
+class _Job:
+    __slots__ = ("fn", "args", "kwargs", "future", "trace_id")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        trace_id: str | None,
+    ) -> None:
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.future: Future = Future()
+        self.trace_id = trace_id
+
+
+class WorkerPool:
+    """A fixed-size pool of supervised worker threads.
+
+    :meth:`submit` returns a :class:`concurrent.futures.Future`; asyncio
+    callers wrap it with :func:`asyncio.wrap_future` to await it on the
+    event loop. Jobs carry the submitter's trace id and re-bind it on
+    the worker thread, so log lines and counters emitted inside a solve
+    join the request that caused it.
+    """
+
+    def __init__(self, workers: int = 2, name: str = "repro-svc") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._name = name
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        self._shutdown = threading.Event()
+        self._lock = threading.Lock()
+        for index in range(workers):
+            self._threads.append(self._spawn(index))
+        self._supervisor = threading.Thread(
+            target=self._supervise, name=f"{name}-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self, index: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._run, name=f"{self._name}-{index}", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _POISON:
+                return
+            if not job.future.set_running_or_notify_cancel():
+                continue
+            try:
+                with bind_trace(job.trace_id):
+                    result = job.fn(*job.args, **job.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - routed to future
+                job.future.set_exception(exc)
+            else:
+                job.future.set_result(result)
+
+    def _supervise(self) -> None:
+        while not self._shutdown.wait(0.2):
+            with self._lock:
+                for index, thread in enumerate(self._threads):
+                    if not thread.is_alive() and not self._shutdown.is_set():
+                        obs.count("service.workers.restarts")
+                        self._threads[index] = self._spawn(index)
+
+    def submit(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Future:
+        """Queue ``fn(*args, **kwargs)``; the future resolves with its
+        result or exception. The caller's trace id travels with the job."""
+        if self._shutdown.is_set():
+            raise RuntimeError("worker pool is shut down")
+        job = _Job(fn, args, kwargs, obs.current_trace_id())
+        self._queue.put(job)
+        return job.future
+
+    @property
+    def alive(self) -> int:
+        """Worker threads currently running."""
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Stop supervision, drain workers, and join them.
+
+        Jobs already queued still run; new submits are refused. Workers
+        busy past ``timeout_s`` are abandoned (daemon threads)."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        self._supervisor.join(timeout=timeout_s)
+        with self._lock:
+            threads = list(self._threads)
+        for _ in threads:
+            self._queue.put(_POISON)
+        for thread in threads:
+            thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -26,6 +26,7 @@ speedups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -1029,6 +1030,7 @@ def simulate_transient_batch(
     step_safety: float = DEFAULT_STEP_SAFETY,
     commit_final_state: bool = False,
     backend: str = "auto",
+    progress_cb: Callable[[int, int, float], None] | None = None,
 ) -> BatchTransientResult:
     """Advance N structurally-identical networks in one RK4 loop.
 
@@ -1042,6 +1044,13 @@ def simulate_transient_batch(
     from further updates while the rest of the batch continues. Member
     trajectories are returned in input order; diverged members yield
     ``None`` (see :class:`BatchTransientResult`).
+
+    ``progress_cb``, when given, is called once per committed output
+    sample as ``progress_cb(sample_index, n_samples, time_s)`` (including
+    the initial condition at index 0). It adds nothing to the hot step
+    loop when omitted. An exception raised by the callback aborts the
+    integration and propagates to the caller unchanged — long-running
+    service layers use this for cooperative cancellation.
     """
     _validate_run_args(duration_s, output_interval_s)
     if not networks:
@@ -1079,6 +1088,8 @@ def simulate_transient_batch(
 
         for member_index, member_buffers in enumerate(buffers):
             member_buffers.record(0, state[member_index], 0.0)
+        if progress_cb is not None:
+            progress_cb(0, n_outputs, 0.0)
 
         time_now = 0.0
         steps_taken = 0
@@ -1110,6 +1121,8 @@ def simulate_transient_batch(
                     buffers[member_index].record(
                         sample_index, state[member_index], target
                     )
+            if progress_cb is not None:
+                progress_cb(sample_index, n_outputs, float(target))
 
         if obs.enabled:
             obs.count("solver.runs")

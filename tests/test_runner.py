@@ -77,6 +77,50 @@ def _sleep_seconds(s):
     return s
 
 
+def _hang_once(task):
+    """Hang (until a release file appears) on first call per sentinel;
+    return immediately on re-execution. Models a task whose first
+    attempt wedges and whose retry is healthy."""
+    sentinel, release, value = task
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        for _ in range(300):  # ~30s unless released sooner
+            if os.path.exists(release):
+                break
+            time.sleep(0.1)
+    return value
+
+
+def _stress_write(task):
+    """One contender in the multi-process cache stress: hammer a shared
+    key with writer-specific payloads, interleaving reads."""
+    directory, writer_id, rounds = task
+    from repro.runner import MISS, ResultCache
+
+    cache = ResultCache(directory, salt="stress")
+    spec = {"kind": "stress", "shared": True}
+    torn = 0
+    for round_no in range(rounds):
+        payload = {
+            "writer": writer_id,
+            "round": round_no,
+            "blob": np.full(257, float(writer_id)),
+        }
+        cache.put(spec, payload)
+        seen = cache.get(spec)
+        if seen is MISS:
+            continue
+        # Whatever we read must be SOME complete payload — a torn or
+        # interleaved write would break this structural invariant.
+        if (
+            set(seen) != {"writer", "round", "blob"}
+            or seen["blob"].shape != (257,)
+            or not np.all(seen["blob"] == float(seen["writer"]))
+        ):
+            torn += 1
+    return torn
+
+
 # --- hypothesis strategies ---------------------------------------------------
 
 _any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
@@ -338,6 +382,40 @@ class TestSweep:
     def test_empty_items(self):
         assert sweep(_double, [], jobs=4) == []
 
+    @pytest.mark.slow
+    def test_timeout_recycles_pool_instead_of_losing_workers(self, tmp_path):
+        """Regression: a timed-out future used to leave its worker stuck
+        on the abandoned task, so the retry queued behind the very call
+        it was retrying and starved the pool. The fix recycles the
+        executor; with two hang-once tasks and two workers, the old
+        behavior deadlocks until retries exhaust, the fixed one finishes
+        fast because retries land on fresh workers.
+        """
+        enable()
+        reset()
+        tasks = [
+            (str(tmp_path / "hang_a"), str(tmp_path / "release"), 1),
+            (str(tmp_path / "hang_b"), str(tmp_path / "release"), 2),
+            (str(tmp_path / "no_hang"), str(tmp_path / "release"), 3),
+        ]
+        # Pre-create the third sentinel so only the first two hang.
+        open(tasks[2][0], "w").close()
+        start = time.monotonic()
+        try:
+            results = sweep(
+                _hang_once, tasks, jobs=2, timeout_s=1.5, retries=1
+            )
+            counters = snapshot().counters
+        finally:
+            disable()
+            # Free the abandoned first-attempt workers so they exit
+            # instead of sleeping out their full 30s hang.
+            open(str(tmp_path / "release"), "w").close()
+        assert results == [1, 2, 3]
+        assert counters["runner.pool_recycles"] >= 1
+        # Well under the 30s the stuck workers would have cost us.
+        assert time.monotonic() - start < 15.0
+
     def test_cache_skips_recompute(self, tmp_path):
         cache = ResultCache(tmp_path)
         first = sweep(_double, [1, 2, 3], cache=cache)
@@ -366,6 +444,82 @@ class TestSweep:
         assert counters["runner.sweeps"] == 1
         assert counters["runner.tasks"] == 4
         assert counters["runner.parallel_tasks"] == 4
+
+
+# --- cache under concurrent multi-process writers ----------------------------
+
+
+class TestCacheConcurrency:
+    """The cache's cross-process contract: writers never tear entries
+    (mkstemp + os.replace), readers see MISS or a complete payload, and
+    the last complete write wins."""
+
+    @pytest.mark.slow
+    def test_multiprocess_writers_never_tear_entries(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        writers, rounds = 4, 25
+        tasks = [(str(tmp_path), wid, rounds) for wid in range(writers)]
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            torn_counts = list(pool.map(_stress_write, tasks))
+        # No contender ever observed a torn/interleaved entry.
+        assert torn_counts == [0] * writers
+
+        # Last-writer-wins: the surviving entry is some writer's
+        # complete final payload, readable by a fresh process too.
+        cache = ResultCache(tmp_path, salt="stress")
+        final = cache.get({"kind": "stress", "shared": True})
+        assert final is not MISS
+        assert np.all(final["blob"] == float(final["writer"]))
+        # Exactly one entry on disk and no leaked temp files young
+        # enough to matter.
+        assert cache.entry_count() == 1
+        assert cache.purge_stale_tmp(max_age_s=0.0) == 0
+
+    def test_get_or_compute_single_flights_threads(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path, salt="flight")
+        spec = {"kind": "flight"}
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            gate.wait(2.0)
+            return {"value": 42}
+
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_compute(spec, compute)
+                )
+            )
+            for _ in range(6)
+        ]
+        results: list = []
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)  # let every thread reach the flight gate
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(calls) == 1  # one compute, five waiters
+        assert results == [{"value": 42}] * 6
+
+    def test_purge_stale_tmp_removes_only_old_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="purge")
+        cache.put({"k": 1}, {"v": 1})
+        shard = next(tmp_path.glob("*"))
+        stale = shard / "deadbeef.tmp"
+        stale.write_text("{}")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = shard / "cafe.tmp"
+        fresh.write_text("{}")
+        assert cache.purge_stale_tmp(max_age_s=3600.0) == 1
+        assert not stale.exists()
+        assert fresh.exists()
+        assert cache.get({"k": 1}) == {"v": 1}
 
 
 # --- ExperimentResult codec --------------------------------------------------

@@ -1,0 +1,293 @@
+"""Tests for the service schema layer (repro.service.api) and quotas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import experiment_cache_spec
+from repro.service.api import (
+    ApiError,
+    ClusterSpec,
+    ExperimentSpec,
+    TransientSpec,
+    cache_spec,
+    fingerprint_payload,
+    parse_request,
+    parse_spec,
+)
+from repro.service.quota import QuotaManager, TokenBucket
+
+
+class TestSpecParsing:
+    def test_transient_round_trips_through_payload(self):
+        spec = parse_spec(
+            {
+                "kind": "transient",
+                "platform": "2u",
+                "utilization": 0.5,
+                "melting_point_c": 43.0,
+                "duration_s": 600.0,
+            }
+        )
+        assert isinstance(spec, TransientSpec)
+        assert parse_spec(spec.payload()) == spec
+
+    def test_cluster_round_trips_through_payload(self):
+        spec = parse_spec(
+            {"kind": "cluster", "server_count": 12, "ticks": 7}
+        )
+        assert isinstance(spec, ClusterSpec)
+        assert parse_spec(spec.payload()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ApiError, match="unknown spec kind"):
+            parse_spec({"kind": "warp-drive"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ApiError, match="unknown transient spec field"):
+            parse_spec({"kind": "transient", "speed": 11})
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            ({"utilization": 1.5}, r"utilization"),
+            ({"platform": "9u"}, r"unknown platform"),
+            ({"melting_point_c": 20.0}, r"melting_point_c"),
+            ({"melting_point_c": 43.0, "with_wax": False}, r"with_wax"),
+            ({"duration_s": -1.0}, r"duration_s"),
+            ({"grille_blockage": 0.95}, r"grille_blockage"),
+            ({"utilization": float("nan")}, r"finite"),
+            ({"duration_s": 1e9, "output_interval_s": 1.0}, r"samples"),
+        ],
+    )
+    def test_transient_validation(self, overrides, message):
+        with pytest.raises(ApiError, match=message):
+            parse_spec({"kind": "transient", **overrides})
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            ({"server_count": 0}, r"server_count"),
+            ({"ticks": 0}, r"ticks"),
+            ({"melting_point_c": 99.0}, r"melting_point_c"),
+            ({"frequency_ghz": 0.0}, r"frequency_ghz"),
+            ({"server_count": True}, r"integer"),
+        ],
+    )
+    def test_cluster_validation(self, overrides, message):
+        with pytest.raises(ApiError, match=message):
+            parse_spec({"kind": "cluster", **overrides})
+
+    def test_experiment_requires_known_id(self):
+        with pytest.raises(ApiError, match="unknown experiment"):
+            parse_spec({"kind": "experiment", "experiment_id": "table99"})
+
+    def test_experiment_cache_spec_matches_registry_address(self):
+        # The whole point: a point computed by the CLI answers the
+        # service and vice versa, so both must hash the same address.
+        spec = ExperimentSpec(experiment_id="table1", quick=True)
+        assert cache_spec(spec) == experiment_cache_spec("table1", True)
+
+
+class TestGroupKeys:
+    def test_transient_structure_shares_a_group(self):
+        a = TransientSpec(utilization=0.2, melting_point_c=40.0)
+        b = TransientSpec(utilization=0.9, melting_point_c=55.0)
+        assert a.group_key() == b.group_key()
+
+    def test_transient_horizon_splits_groups(self):
+        a = TransientSpec(duration_s=900.0)
+        b = TransientSpec(duration_s=1800.0)
+        assert a.group_key() != b.group_key()
+
+    def test_cluster_key_ignores_per_member_knobs(self):
+        a = ClusterSpec(melting_point_c=38.0, utilization=0.1, ticks=10)
+        b = ClusterSpec(melting_point_c=58.0, utilization=0.9, ticks=500)
+        assert a.group_key() == b.group_key()
+
+    def test_cluster_shape_splits_groups(self):
+        assert (
+            ClusterSpec(server_count=8).group_key()
+            != ClusterSpec(server_count=16).group_key()
+        )
+
+    def test_experiments_never_group(self):
+        assert ExperimentSpec(experiment_id="table1").group_key() is None
+
+
+class TestFingerprint:
+    def test_invariant_to_dict_order(self):
+        a = {"x": 1, "y": np.arange(4.0)}
+        b = {"y": np.arange(4.0), "x": 1}
+        assert fingerprint_payload(a) == fingerprint_payload(b)
+
+    def test_sensitive_to_array_content(self):
+        a = {"y": np.arange(4.0)}
+        b = {"y": np.arange(4.0) + 1e-12}
+        assert fingerprint_payload(a) != fingerprint_payload(b)
+
+
+class TestParseRequest:
+    def test_single_spec(self):
+        request = parse_request(
+            {"tenant": "team-a", "spec": {"kind": "cluster"}}
+        )
+        assert request.tenant == "team-a"
+        assert len(request.specs) == 1
+        assert request.cost == 1.0
+
+    def test_sweep_merges_base_and_variants(self):
+        request = parse_request(
+            {
+                "tenant": "team-a",
+                "sweep": {
+                    "base": {"kind": "cluster", "server_count": 12},
+                    "variants": [
+                        {"melting_point_c": 38.0},
+                        {"melting_point_c": 44.0, "utilization": 0.9},
+                    ],
+                },
+            }
+        )
+        assert [s.melting_point_c for s in request.specs] == [38.0, 44.0]
+        assert all(s.server_count == 12 for s in request.specs)
+        assert request.specs[1].utilization == 0.9
+        assert request.cost == 2.0
+
+    def test_variant_cannot_change_kind(self):
+        with pytest.raises(ApiError, match="kind"):
+            parse_request(
+                {
+                    "tenant": "t",
+                    "sweep": {
+                        "base": {"kind": "cluster"},
+                        "variants": [{"kind": "transient"}],
+                    },
+                }
+            )
+
+    def test_exactly_one_of_spec_or_sweep(self):
+        with pytest.raises(ApiError, match="exactly one"):
+            parse_request({"tenant": "t"})
+        with pytest.raises(ApiError, match="exactly one"):
+            parse_request(
+                {
+                    "tenant": "t",
+                    "spec": {"kind": "cluster"},
+                    "sweep": {"base": {}, "variants": [{}]},
+                }
+            )
+
+    @pytest.mark.parametrize(
+        "tenant", ["", "a b", "x" * 65, 7, None, "bad/slash"]
+    )
+    def test_bad_tenants_rejected(self, tenant):
+        with pytest.raises(ApiError, match="tenant"):
+            parse_request({"tenant": tenant, "spec": {"kind": "cluster"}})
+
+    def test_sweep_size_capped(self):
+        with pytest.raises(ApiError, match="limit"):
+            parse_request(
+                {
+                    "tenant": "t",
+                    "sweep": {
+                        "base": {"kind": "cluster"},
+                        "variants": [{"ticks": i + 1} for i in range(300)],
+                    },
+                }
+            )
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ApiError, match="timeout_s"):
+            parse_request(
+                {
+                    "tenant": "t",
+                    "spec": {"kind": "cluster"},
+                    "timeout_s": -3,
+                }
+            )
+
+    def test_experiment_costs_more(self):
+        request = parse_request(
+            {
+                "tenant": "t",
+                "spec": {"kind": "experiment", "experiment_id": "table1"},
+            }
+        )
+        assert request.cost == 4.0
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_with_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            assert bucket.try_take().allowed
+        decision = bucket.try_take()
+        assert not decision.allowed
+        assert decision.retry_after_s == pytest.approx(1.0)
+        assert decision.satisfiable
+
+    def test_refill_readmits_after_the_advertised_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=0.5, burst=1.0, clock=clock)
+        assert bucket.try_take().allowed
+        decision = bucket.try_take()
+        assert decision.retry_after_s == pytest.approx(2.0)
+        clock.advance(decision.retry_after_s)
+        assert bucket.try_take().allowed
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_unpayable_cost_is_unsatisfiable(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=2.0, clock=FakeClock())
+        decision = bucket.try_take(5.0)
+        assert not decision.allowed
+        assert math.isinf(decision.retry_after_s)
+        assert not decision.satisfiable
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=1.0).try_take(0.0)
+
+
+class TestQuotaManager:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        manager = QuotaManager(1.0, 1.0, clock=clock)
+        assert manager.admit("a").allowed
+        assert not manager.admit("a").allowed
+        assert manager.admit("b").allowed
+        assert sorted(manager.tenants()) == ["a", "b"]
+
+    def test_overrides_apply_per_tenant(self):
+        clock = FakeClock()
+        manager = QuotaManager(
+            1.0, 1.0, clock=clock, overrides={"vip": (10.0, 5.0)}
+        )
+        for _ in range(5):
+            assert manager.admit("vip").allowed
+        assert not manager.admit("vip").allowed
+        assert not manager.admit("pleb", 2.0).satisfiable

@@ -1,0 +1,169 @@
+"""The ISSUE acceptance scenario, end to end over the wire.
+
+Two tenants submit overlapping melting-point sweeps concurrently. The
+service must coalesce all structurally-identical members into ONE
+batched cluster solve (the solver counters prove it), duplicate members
+across tenants must join in flight rather than re-solve, every result
+must match a golden fingerprint byte-for-byte across runs and releases,
+and a third, over-quota tenant must bounce off with 429 without
+disturbing the first two.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import get_registry
+from repro.service.server import ServiceConfig, SimulationService
+
+pytestmark = pytest.mark.slow
+
+# Lives under fixtures/, not golden/: tests/golden is reserved for the
+# per-experiment figure pins and has a stray-file guard.
+GOLDEN_PATH = (
+    Path(__file__).parent / "fixtures" / "service" / "sweep_fingerprints.json"
+)
+
+_MELTING_A = [38.0, 40.0, 42.0, 44.0]
+_MELTING_B = [40.0, 42.0, 46.0, 48.0]
+_BASE = {"kind": "cluster", "server_count": 16, "ticks": 40, "tick_s": 60.0}
+
+
+@pytest.fixture()
+def obs_sandbox():
+    registry = get_registry()
+    was_enabled = registry.enabled
+    registry.reset()
+    yield registry
+    registry.reset()
+    if not was_enabled:
+        registry.disable()
+
+
+async def _post_json(port: int, body: dict) -> tuple[int, dict, dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode()
+    writer.write(
+        (
+            "POST /v1/jobs HTTP/1.1\r\nHost: test\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n\r\n"
+        ).encode()
+        + data
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in header_lines:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(status_line.split(" ")[1]), json.loads(payload), headers
+
+
+def _sweep(tenant: str, melting_points: list[float]) -> dict:
+    return {
+        "tenant": tenant,
+        "sweep": {
+            "base": _BASE,
+            "variants": [{"melting_point_c": m} for m in melting_points],
+        },
+    }
+
+
+def test_two_tenant_sweep_coalesces_and_quota_holds(
+    obs_sandbox, tmp_path, update_golden
+):
+    async def scenario():
+        config = ServiceConfig(
+            port=0,
+            workers=2,
+            cache=tmp_path / "cache",
+            window_s=0.4,
+            max_batch=32,
+            # freeloader's bucket cannot even pay for one job; the
+            # default tenants are effectively unmetered for this test.
+            quota_rate_per_s=100.0,
+            quota_burst=100.0,
+            quota_overrides={"freeloader": (0.001, 0.5)},
+        )
+        async with SimulationService(config) as service:
+            port = service.port
+            a_task = asyncio.ensure_future(
+                _post_json(port, _sweep("tenant-a", _MELTING_A))
+            )
+            b_task = asyncio.ensure_future(
+                _post_json(port, _sweep("tenant-b", _MELTING_B))
+            )
+            # The freeloader barges in while A and B are in flight.
+            await asyncio.sleep(0.05)
+            f_task = asyncio.ensure_future(
+                _post_json(
+                    port,
+                    {"tenant": "freeloader", "spec": dict(_BASE)},
+                )
+            )
+            return await asyncio.gather(a_task, b_task, f_task)
+
+    (a_status, a_body, _), (b_status, b_body, _), (
+        f_status,
+        f_body,
+        _,
+    ) = asyncio.run(scenario())
+
+    # The over-quota tenant bounced; the admitted sweeps are whole.
+    assert f_status == 429
+    assert f_body["code"] == "over_quota"
+    assert a_status == 200 and b_status == 200
+    a_results = a_body["results"]
+    b_results = b_body["results"]
+    assert [r["event"] for r in a_results + b_results] == ["result"] * 8
+
+    counters = get_registry().snapshot().counters
+    unique = len(set(_MELTING_A) | set(_MELTING_B))
+    # 8 requested members, 6 unique -> exactly one batched solve.
+    assert counters["service.solves"] == 1
+    assert counters["service.solve.members"] == unique
+    assert counters["service.dedup.joined"] == len(_MELTING_A) + len(
+        _MELTING_B
+    ) - unique
+    assert counters["service.rejected.quota"] == 1
+
+    # Members shared between the sweeps are byte-identical across
+    # tenants: same spec, same bytes, regardless of who asked.
+    a_by_melt = dict(zip(_MELTING_A, a_results))
+    b_by_melt = dict(zip(_MELTING_B, b_results))
+    for melting in set(_MELTING_A) & set(_MELTING_B):
+        assert (
+            a_by_melt[melting]["fingerprint"]
+            == b_by_melt[melting]["fingerprint"]
+        )
+
+    fingerprints = {
+        f"{melting:g}": result["fingerprint"]
+        for melting, result in sorted(
+            {**a_by_melt, **b_by_melt}.items()
+        )
+    }
+
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(fingerprints, indent=1, sort_keys=True) + "\n"
+        )
+        return
+
+    assert GOLDEN_PATH.exists(), (
+        "no golden fingerprints; run with --update-golden to create them"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert fingerprints == golden, (
+        "service results drifted from golden fingerprints - byte-level "
+        "reproducibility across releases is part of the service contract"
+    )

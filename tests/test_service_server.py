@@ -1,0 +1,479 @@
+"""End-to-end tests of the live service (repro.service.server).
+
+Every test here boots a real :class:`SimulationService` on a loopback
+socket and talks raw HTTP/1.1 to it — the same wire a curl session or
+the CI smoke lane sees. The load-bearing assertions:
+
+* a coalesced batch's member results are **byte-identical** (equal
+  fingerprints) to the same specs solved serially, and the solver
+  invocation counters prove the batch really was one solve;
+* quota rejections carry ``Retry-After`` and do not disturb admitted
+  work;
+* a client disconnecting mid-stream cancels the solve it abandoned;
+* a request deadline produces HTTP 504 and releases the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import get_registry
+from repro.service.api import TransientSpec, fingerprint_payload
+from repro.service.batching import _transient_network
+from repro.service.server import ServiceConfig, SimulationService
+from repro.service.workers import _POISON, WorkerPool
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture()
+def obs_sandbox():
+    """Isolate the process-global registry (the service enables it)."""
+    registry = get_registry()
+    was_enabled = registry.enabled
+    registry.reset()
+    yield registry
+    registry.reset()
+    if not was_enabled:
+        registry.disable()
+
+
+async def _http_json(
+    port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict, dict]:
+    """One Connection: close HTTP exchange; returns (status, json, headers)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode() if body is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+    if data:
+        head += (
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+        )
+    writer.write((head + "\r\n").encode() + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head_raw, _, body_raw = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head_raw.decode("latin-1").split("\r\n")
+    status = int(status_line.split(" ")[1])
+    headers = {}
+    for line in header_lines:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, json.loads(body_raw), headers
+
+
+def _transient_body(tenant: str, spec: TransientSpec) -> dict:
+    return {"tenant": tenant, "spec": spec.payload()}
+
+
+_SPECS = [
+    TransientSpec(utilization=0.3, melting_point_c=40.0, duration_s=300.0),
+    TransientSpec(utilization=0.9, melting_point_c=55.0, duration_s=300.0),
+    TransientSpec(utilization=0.6, duration_s=300.0),
+]
+
+
+def _counters() -> dict[str, int]:
+    return get_registry().snapshot().counters
+
+
+class TestRoutesAndValidation:
+    def test_health_stats_and_errors(self, obs_sandbox, tmp_path):
+        async def scenario():
+            config = ServiceConfig(port=0, workers=1, cache=tmp_path / "c")
+            async with SimulationService(config) as service:
+                port = service.port
+                status, health, _ = await _http_json(port, "GET", "/healthz")
+                assert status == 200 and health["ok"]
+                assert health["workers_alive"] == 1
+
+                status, body, _ = await _http_json(
+                    port, "GET", "/v1/experiments"
+                )
+                assert status == 200 and "table1" in body["experiments"]
+
+                status, body, _ = await _http_json(port, "GET", "/nope")
+                assert status == 404
+
+                status, body, headers = await _http_json(
+                    port, "POST", "/v1/jobs", {"tenant": "t", "spec": {}}
+                )
+                assert status == 400
+                assert "x-trace-id" in headers
+
+                # Garbage body: not JSON at all.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\n\r\nnot json!"
+                )
+                raw = await reader.read()
+                writer.close()
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+
+                status, stats, _ = await _http_json(port, "GET", "/stats")
+                assert status == 200
+                assert stats["counters"]["service.requests"] >= 4
+
+        asyncio.run(scenario())
+
+
+class TestBatchingEquivalence:
+    def test_coalesced_batch_is_byte_identical_to_serial(
+        self, obs_sandbox, tmp_path
+    ):
+        """The acceptance core: N coalesced requests = 1 solve, and every
+        member fingerprint matches both a serial service run and a
+        direct batch-of-one library call."""
+        from repro.service.api import API_SCHEMA
+        from repro.thermal.solver import simulate_transient_batch
+
+        async def serial() -> list[str]:
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "serial", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                fingerprints = []
+                for spec in _SPECS:
+                    status, body, _ = await _http_json(
+                        service.port,
+                        "POST",
+                        "/v1/jobs",
+                        _transient_body("serial", spec),
+                    )
+                    assert status == 200, body
+                    result = body["results"][0]
+                    assert result["event"] == "result"
+                    assert result["batch_size"] == 1
+                    fingerprints.append(result["fingerprint"])
+                return fingerprints
+
+        serial_prints = asyncio.run(serial())
+        serial_counters = _counters()
+        assert serial_counters["service.solves"] == len(_SPECS)
+        obs_sandbox.reset()
+
+        async def coalesced() -> list[dict]:
+            config = ServiceConfig(
+                port=0,
+                workers=2,
+                cache=tmp_path / "coalesced",
+                window_s=0.4,
+                max_batch=16,
+            )
+            async with SimulationService(config) as service:
+                # The duplicate of spec 0 must join in flight, not re-solve.
+                submissions = [*_SPECS, _SPECS[0]]
+                responses = await asyncio.gather(
+                    *(
+                        _http_json(
+                            service.port,
+                            "POST",
+                            "/v1/jobs",
+                            _transient_body("batch", spec),
+                        )
+                        for spec in submissions
+                    )
+                )
+                assert all(status == 200 for status, _, _ in responses)
+                return [body["results"][0] for _, body, _ in responses]
+
+        results = asyncio.run(coalesced())
+        counters = _counters()
+
+        # 4 requests, 3 unique -> exactly one batched solve of 3 members.
+        assert counters["service.solves"] == 1
+        assert counters["service.solve.members"] == len(_SPECS)
+        assert counters["service.dedup.joined"] == 1
+        assert all(r["batch_size"] == len(_SPECS) for r in results[:3])
+
+        # Byte-identical to the serial run of the same specs...
+        assert [r["fingerprint"] for r in results[:3]] == serial_prints
+        # ...and the duplicate saw exactly its original's bytes.
+        assert results[3]["fingerprint"] == serial_prints[0]
+
+        # ...and to a direct batch-of-one call into the library.
+        spec = _SPECS[1]
+        batch = simulate_transient_batch(
+            [_transient_network(spec)],
+            spec.duration_s,
+            output_interval_s=spec.output_interval_s,
+        )
+        member = batch.results[0]
+        direct = fingerprint_payload(
+            {
+                "schema": API_SCHEMA,
+                "spec": spec.payload(),
+                "times_s": member.times_s,
+                "temperatures_c": member.temperatures_c,
+                "air_temperatures_c": member.air_temperatures_c,
+                "flow_m3_s": member.flow_m3_s,
+                "melt_fractions": member.melt_fractions,
+                "pcm_enthalpies_j": member.pcm_enthalpies_j,
+                "power_w": member.power_w,
+            }
+        )
+        assert direct == serial_prints[1]
+
+    def test_cache_hit_answers_without_resolving(self, obs_sandbox, tmp_path):
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "c", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                body = _transient_body("t", _SPECS[0])
+                status, first, _ = await _http_json(
+                    service.port, "POST", "/v1/jobs", body
+                )
+                status, second, _ = await _http_json(
+                    service.port, "POST", "/v1/jobs", body
+                )
+                return first["results"][0], second["results"][0]
+
+        first, second = asyncio.run(scenario())
+        assert not first["cached"]
+        assert second["cached"]
+        assert second["fingerprint"] == first["fingerprint"]
+        assert _counters()["service.solves"] == 1
+
+
+class TestQuota:
+    def test_over_quota_rejected_without_disturbing_admitted(
+        self, obs_sandbox, tmp_path
+    ):
+        async def scenario():
+            config = ServiceConfig(
+                port=0,
+                workers=1,
+                cache=tmp_path / "c",
+                window_s=0.0,
+                quota_rate_per_s=0.001,
+                quota_burst=2.0,
+            )
+            async with SimulationService(config) as service:
+                admitted = []
+                for spec in _SPECS[:2]:
+                    admitted.append(
+                        await _http_json(
+                            service.port,
+                            "POST",
+                            "/v1/jobs",
+                            _transient_body("greedy", spec),
+                        )
+                    )
+                rejected = await _http_json(
+                    service.port,
+                    "POST",
+                    "/v1/jobs",
+                    _transient_body("greedy", _SPECS[2]),
+                )
+                other = await _http_json(
+                    service.port,
+                    "POST",
+                    "/v1/jobs",
+                    _transient_body("patient", _SPECS[2]),
+                )
+                return admitted, rejected, other
+
+        admitted, rejected, other = asyncio.run(scenario())
+        for status, body, _ in admitted:
+            assert status == 200
+            assert body["results"][0]["event"] == "result"
+
+        status, body, headers = rejected
+        assert status == 429
+        assert body["code"] == "over_quota"
+        assert body["satisfiable"]
+        assert int(headers["retry-after"]) >= 1
+
+        # A different tenant has its own bucket and is unaffected.
+        status, body, _ = other
+        assert status == 200
+
+    def test_sweep_over_burst_is_unsatisfiable(self, obs_sandbox, tmp_path):
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, window_s=0.0, quota_burst=2.0
+            )
+            async with SimulationService(config) as service:
+                return await _http_json(
+                    service.port,
+                    "POST",
+                    "/v1/jobs",
+                    {
+                        "tenant": "t",
+                        "sweep": {
+                            "base": _SPECS[0].payload(),
+                            "variants": [
+                                {"utilization": u / 10} for u in range(5)
+                            ],
+                        },
+                    },
+                )
+
+        status, body, headers = asyncio.run(scenario())
+        assert status == 429
+        assert not body["satisfiable"]
+        assert "retry-after" not in headers
+
+
+class TestCancellationAndTimeouts:
+    def test_mid_stream_disconnect_cancels_the_solve(
+        self, obs_sandbox, tmp_path
+    ):
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "c", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                body = json.dumps(
+                    {
+                        "tenant": "flaky",
+                        "stream": True,
+                        "spec": {
+                            "kind": "cluster",
+                            "server_count": 8,
+                            "ticks": 400_000,
+                        },
+                    }
+                ).encode()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(
+                    b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode()
+                    + b"\r\n\r\n" + body
+                )
+                received = b""
+                while b'"progress"' not in received:
+                    chunk = await reader.read(4096)
+                    assert chunk, "stream ended before any progress event"
+                    received += chunk
+                writer.close()  # hang up mid-stream
+
+                for _ in range(200):
+                    counters = _counters()
+                    if counters.get("service.solve.aborted"):
+                        return counters
+                    await asyncio.sleep(0.05)
+                return _counters()
+
+        counters = asyncio.run(scenario())
+        assert counters.get("service.solve.aborted", 0) >= 1
+
+    def test_deadline_returns_504(self, obs_sandbox, tmp_path):
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "c", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                return await _http_json(
+                    service.port,
+                    "POST",
+                    "/v1/jobs",
+                    {
+                        "tenant": "hasty",
+                        "timeout_s": 0.05,
+                        "spec": {
+                            "kind": "cluster",
+                            "server_count": 8,
+                            "ticks": 400_000,
+                        },
+                    },
+                )
+
+        status, body, _ = asyncio.run(scenario())
+        assert status == 504
+        assert body["code"] == "timeout"
+        assert _counters()["service.timeouts"] == 1
+
+
+class TestExperimentDedup:
+    def test_experiment_resolves_and_dedups_through_registry_cache(
+        self, obs_sandbox, tmp_path
+    ):
+        from repro.experiments.registry import run_experiment
+        from repro.runner.serialize import encode_experiment_result
+
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "c", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                body = {
+                    "tenant": "sci",
+                    "spec": {
+                        "kind": "experiment",
+                        "experiment_id": "table1",
+                        "quick": True,
+                    },
+                }
+                _, first, _ = await _http_json(
+                    service.port, "POST", "/v1/jobs", body
+                )
+                _, second, _ = await _http_json(
+                    service.port, "POST", "/v1/jobs", body
+                )
+                return first["results"][0], second["results"][0]
+
+        first, second = asyncio.run(scenario())
+        assert first["event"] == "result" and not first["cached"]
+        assert second["cached"]
+        assert second["fingerprint"] == first["fingerprint"]
+        # The service's answer is the library's answer, byte for byte.
+        direct = encode_experiment_result(
+            run_experiment("table1", quick=True)
+        )
+        assert fingerprint_payload(direct) == first["fingerprint"]
+
+
+class TestWorkerPool:
+    def test_jobs_resolve_and_exceptions_route_to_futures(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.submit(lambda: 41 + 1).result(timeout=10) == 42
+
+            def boom() -> None:
+                raise ValueError("kaput")
+
+            future = pool.submit(boom)
+            with pytest.raises(ValueError, match="kaput"):
+                future.result(timeout=10)
+            # A job exception must not kill the worker.
+            assert pool.submit(lambda: "alive").result(timeout=10) == "alive"
+
+    def test_supervisor_respawns_dead_workers(self, obs_sandbox):
+        obs_sandbox.enable()
+        pool = WorkerPool(workers=2)
+        try:
+            # Simulate a worker dying: feed the queue a poison pill
+            # outside of shutdown, killing whichever worker eats it.
+            pool._queue.put(_POISON)
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if _counters().get("service.workers.restarts", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            assert _counters().get("service.workers.restarts", 0) >= 1
+            assert pool.alive == 2
+            assert pool.submit(lambda: "ok").result(timeout=10) == "ok"
+        finally:
+            pool.shutdown()
+
+    def test_trace_id_travels_to_the_worker(self):
+        from repro.obs import bind_trace, current_trace_id
+
+        with WorkerPool(workers=1) as pool:
+            with bind_trace("feedc0dedeadbeef"):
+                future = pool.submit(current_trace_id)
+            assert future.result(timeout=10) == "feedc0dedeadbeef"

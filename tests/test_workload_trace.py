@@ -128,7 +128,13 @@ class TestTransforms:
             normalized = trace.normalized(average=0.5, peak=0.95)
         except WorkloadError:
             return  # legal rejection when the shape would go negative
-        # Affine maps preserve the location of the maximum.
-        assert np.argmax(normalized.values) == np.argmax(trace.values)
+        # Affine maps preserve the location of the maximum — up to
+        # float rounding, which may swap near-tied maxima, so assert
+        # the original peak position still attains the normalized max
+        # rather than comparing argmax indices.
+        peak_pos = np.argmax(trace.values)
+        assert normalized.values[peak_pos] == pytest.approx(
+            np.max(normalized.values), abs=1e-12
+        )
         assert normalized.peak == pytest.approx(0.95)
         assert normalized.average == pytest.approx(0.5)

@@ -46,6 +46,25 @@ from repro.runner.cache import MISS, ResultCache
 from repro.runner.serialize import SerializationError
 
 
+def _abandon(executor: ProcessPoolExecutor) -> None:
+    """Discard an executor whose workers may be wedged in a call we gave
+    up on. ``shutdown(wait=False)`` alone leaves each such worker alive
+    until its hung call returns on its own, so a sweep with repeated
+    timeouts would accumulate orphaned processes without bound; kill the
+    workers outright instead. ``_processes`` is private executor state,
+    hence the defensive ``getattr``: if a future interpreter renames it,
+    we degrade to the old leak-until-done behaviour, not a crash. The
+    snapshot happens *before* shutdown, which drops the executor's own
+    reference to the process table."""
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 - already-reaped process etc.
+            pass
+
+
 def _task_spec(func: Callable, item: Any, key_fn: Callable | None) -> Any:
     """Cache address of one task: function identity + item content."""
     return {
@@ -113,8 +132,9 @@ def sweep(
         A timed-out attempt counts against ``retries``. Because a
         running process-pool call cannot be cancelled, a timeout
         recycles the executor (counted under ``runner.pool_recycles``):
-        the abandoned call finishes in a discarded background pool
-        while the retry and all later tasks run on fresh workers.
+        the abandoned pool's worker processes are killed — so orphans
+        cannot pile up across repeated timeouts — while the retry and
+        all later tasks run on fresh workers.
     retries:
         Extra attempts after a failure or timeout before the sweep
         raises :class:`RunnerError`.
@@ -253,12 +273,15 @@ def _execute(
                     # worker per timeout — enough timeouts and the retry
                     # itself queues behind the very task it is retrying.
                     # Recycle instead: move every uncollected task to a
-                    # fresh executor and abandon the old pool without
-                    # waiting on it. In-flight work for later items is
-                    # redone, which is safe (retries already require the
-                    # function to tolerate re-execution).
+                    # fresh executor and kill the old pool's workers
+                    # (the hung call would otherwise keep its process
+                    # alive arbitrarily long, and repeated timeouts
+                    # would pile such orphans up). In-flight work for
+                    # later items is redone, which is safe (retries
+                    # already require the function to tolerate
+                    # re-execution).
                     obs.count("runner.pool_recycles")
-                    executor.shutdown(wait=False, cancel_futures=True)
+                    _abandon(executor)
                     executor = ProcessPoolExecutor(
                         max_workers=min(jobs, len(items) - position)
                     )
@@ -278,6 +301,9 @@ def _execute(
         clean_exit = True
         return results
     finally:
-        # On the error path, don't block on workers that may be stuck
-        # in a task we already gave up on; drop what hasn't started.
-        executor.shutdown(wait=clean_exit, cancel_futures=not clean_exit)
+        if clean_exit:
+            executor.shutdown(wait=True)
+        else:
+            # Error path: workers may be stuck in a task we already
+            # gave up on; kill them rather than leaking processes.
+            _abandon(executor)

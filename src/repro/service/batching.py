@@ -102,6 +102,23 @@ class Job:
         with self._lock:
             self._waiters += 1
 
+    def try_join(self) -> bool:
+        """Attach one waiter iff the job has not been cancelled.
+
+        A running job whose waiters all left is doomed: its cancel
+        event may already have been observed by the solver, which will
+        fail it shortly. Joining such a job would hand a brand-new,
+        actively-waiting client a spurious ``cancelled`` response, so
+        the check and the waiter increment happen atomically under the
+        job lock (:meth:`release` sets the event under the same lock).
+        A finished job is always joinable — its outcome exists.
+        """
+        with self._lock:
+            if self.cancel_event.is_set() and not self.future.done():
+                return False
+            self._waiters += 1
+            return True
+
     def release(self) -> None:
         """Detach one waiter; the last one out cancels the job."""
         with self._lock:
@@ -119,11 +136,19 @@ class Job:
         """An asyncio queue receiving this job's progress events.
 
         Must be called from a running event loop; the queue also gets a
-        ``None`` sentinel when the job reaches a terminal state.
+        ``None`` sentinel when the job reaches a terminal state. A job
+        that is already finished (a cache hit resolved synchronously in
+        :meth:`Coalescer.submit`, or an in-flight job that finished
+        before this subscriber arrived) delivers the sentinel
+        immediately — the terminal fan-out snapshotted the subscriber
+        list before this queue joined it, and without the sentinel a
+        streaming client would block on the queue forever.
         """
         queue: asyncio.Queue = asyncio.Queue()
         with self._lock:
             self._subscribers.append((asyncio.get_running_loop(), queue))
+            if self.future.done():
+                queue.put_nowait(None)
         return queue
 
     def _fan_out(self, event: dict | None) -> None:
@@ -549,10 +574,18 @@ class Coalescer:
         )
 
         shared = self._inflight.get(key)
-        if shared is not None and not shared.future.done():
+        if (
+            shared is not None
+            and not shared.future.done()
+            and shared.try_join()
+        ):
             obs.count("service.dedup.joined")
-            shared.acquire()
             return shared
+        # A cancelled shared job (every previous waiter disconnected,
+        # solver has not failed it yet) is not joinable: fall through
+        # and start a fresh job. The fresh job takes over the inflight
+        # key; the doomed job's done-callback cannot evict it because
+        # _forget only removes the exact job it was registered for.
 
         if self.cache is not None:
             payload = self.cache.get(address)

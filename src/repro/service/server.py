@@ -340,6 +340,16 @@ class SimulationService:
 
     @staticmethod
     def _outcome_event(index: int, job: Job) -> dict[str, Any]:
+        if job.future.cancelled():
+            # Defensive: the service never cancels the shared future
+            # itself, but a cancelled job must map to an event — calling
+            # exception() on it would raise CancelledError out of the
+            # handler and close the connection with no response.
+            return {
+                "event": "cancelled",
+                "index": index,
+                "error": "job cancelled",
+            }
         exc = job.future.exception()
         if exc is None:
             outcome: JobOutcome = job.future.result()
@@ -361,12 +371,41 @@ class SimulationService:
         timeout_s: float,
         trace_id: str,
     ) -> None:
-        futures = [asyncio.wrap_future(job.future) for job in jobs]
-        done, pending = await asyncio.wait(futures, timeout=timeout_s)
+        # Await completion through request-local waiter futures rather
+        # than asyncio.wrap_future: cancelling a wrapped future on
+        # timeout would propagate to the shared Job.future (which is
+        # never marked running, so cancel() always succeeds), handing
+        # every other client deduplicated onto the same job a
+        # CancelledError and evicting the job from the in-flight map
+        # while its solve still runs.
+        loop = asyncio.get_running_loop()
+        waiters: list[asyncio.Future] = []
+        for job in jobs:
+            waiter: asyncio.Future = loop.create_future()
+
+            def _signal(_f: object, waiter: asyncio.Future = waiter) -> None:
+                # Runs on whichever thread resolved the job (or inline
+                # when it is already done); hop onto the event loop.
+                def _set() -> None:
+                    if not waiter.done():
+                        waiter.set_result(None)
+
+                try:
+                    loop.call_soon_threadsafe(_set)
+                except RuntimeError:
+                    pass  # loop closed during shutdown
+
+            job.future.add_done_callback(_signal)
+            waiters.append(waiter)
+        done, pending = await asyncio.wait(waiters, timeout=timeout_s)
         if pending:
             obs.count("service.timeouts")
-            for future in pending:
-                future.cancel()
+            # Cancel only this request's waiters; the shared job keeps
+            # running for any other attached client. This request's own
+            # waiter reference is dropped by the caller's finally
+            # (Job.release), which is what drives job cancellation.
+            for waiter in pending:
+                waiter.cancel()
             await self._respond(
                 writer,
                 504,

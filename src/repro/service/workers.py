@@ -49,9 +49,12 @@ class _Job:
 class WorkerPool:
     """A fixed-size pool of supervised worker threads.
 
-    :meth:`submit` returns a :class:`concurrent.futures.Future`; asyncio
-    callers wrap it with :func:`asyncio.wrap_future` to await it on the
-    event loop. Jobs carry the submitter's trace id and re-bind it on
+    :meth:`submit` returns a :class:`concurrent.futures.Future`. Asyncio
+    callers awaiting a *shared* future should bridge it onto the loop
+    via ``add_done_callback`` feeding a loop-local future (as the
+    server's job route does), not :func:`asyncio.wrap_future` —
+    cancelling a wrapped future propagates to the underlying shared
+    one. Jobs carry the submitter's trace id and re-bind it on
     the worker thread, so log lines and counters emitted inside a solve
     join the request that caused it.
     """

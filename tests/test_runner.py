@@ -12,6 +12,7 @@ The property suites (hypothesis) pin the runner's two contracts:
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 import tempfile
 import time
@@ -406,10 +407,25 @@ class TestSweep:
                 _hang_once, tasks, jobs=2, timeout_s=1.5, retries=1
             )
             counters = snapshot().counters
+            # Regression (review): the recycle must *kill* the abandoned
+            # workers, not leave them sleeping out the 30s hang —
+            # otherwise a sweep with many timeouts accumulates orphaned
+            # processes. Poll briefly: reaping is asynchronous. This
+            # check runs before the release file exists, so a surviving
+            # worker stays visibly stuck rather than exiting politely.
+            deadline = time.monotonic() + 10.0
+            while (
+                time.monotonic() < deadline
+                and multiprocessing.active_children()
+            ):
+                time.sleep(0.1)
+            orphans = multiprocessing.active_children()
+            assert not orphans, f"recycled workers still alive: {orphans}"
         finally:
             disable()
-            # Free the abandoned first-attempt workers so they exit
-            # instead of sleeping out their full 30s hang.
+            # Belt-and-braces: if the kill ever regresses, free the
+            # abandoned first-attempt workers so they exit instead of
+            # sleeping out their full 30s hang.
             open(str(tmp_path / "release"), "w").close()
         assert results == [1, 2, 3]
         assert counters["runner.pool_recycles"] >= 1

@@ -10,19 +10,33 @@ the CI smoke lane sees. The load-bearing assertions:
 * quota rejections carry ``Retry-After`` and do not disturb admitted
   work;
 * a client disconnecting mid-stream cancels the solve it abandoned;
-* a request deadline produces HTTP 504 and releases the job.
+* a request deadline produces HTTP 504 and releases the job — without
+  disturbing other clients deduplicated onto the same job;
+* late subscribers (cache hits, already-finished jobs) still see the
+  stream's terminal sentinel instead of hanging.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import threading
 
 import pytest
 
 from repro.obs import get_registry
-from repro.service.api import TransientSpec, fingerprint_payload
-from repro.service.batching import _transient_network
+from repro.service.api import (
+    ClusterSpec,
+    TransientSpec,
+    cache_spec,
+    fingerprint_payload,
+)
+from repro.service.batching import (
+    Coalescer,
+    Job,
+    JobOutcome,
+    _transient_network,
+)
 from repro.service.server import ServiceConfig, SimulationService
 from repro.service.workers import _POISON, WorkerPool
 
@@ -65,6 +79,30 @@ async def _http_json(
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
     return status, json.loads(body_raw), headers
+
+
+async def _http_stream(port: int, body: dict) -> list[dict]:
+    """POST a streaming job request; returns the decoded NDJSON events."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode()
+    writer.write(
+        b"POST /v1/jobs HTTP/1.1\r\nHost: test\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(data)).encode() + b"\r\n\r\n" + data
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    _head, _, payload = raw.partition(b"\r\n\r\n")
+    events = []
+    while payload:
+        size_line, _, payload = payload.partition(b"\r\n")
+        size = int(size_line, 16)
+        if size == 0:
+            break
+        events.append(json.loads(payload[:size]))
+        payload = payload[size + 2 :]
+    return events
 
 
 def _transient_body(tenant: str, spec: TransientSpec) -> dict:
@@ -395,6 +433,152 @@ class TestCancellationAndTimeouts:
         assert status == 504
         assert body["code"] == "timeout"
         assert _counters()["service.timeouts"] == 1
+
+    def test_timeout_of_one_client_leaves_shared_job_running(
+        self, obs_sandbox, monkeypatch
+    ):
+        """Regression: the 504 path used to cancel the shared underlying
+        Job.future (never marked running, so cancel() always succeeded),
+        which evicted the job from the in-flight map mid-solve and woke
+        every other deduplicated client with a CancelledError that
+        closed their connection with no response."""
+        from repro.service import batching
+
+        release = threading.Event()
+
+        def gated_solver(jobs, cache):
+            release.wait(timeout=30.0)
+            for job in jobs:
+                job.finish(
+                    JobOutcome(
+                        payload={"solved": True},
+                        fingerprint="fp",
+                        cached=False,
+                        batch_size=len(jobs),
+                    )
+                )
+
+        monkeypatch.setitem(
+            batching._GROUP_SOLVERS, ClusterSpec.kind, gated_solver
+        )
+        body = {
+            "tenant": "steady",
+            "spec": {"kind": "cluster", "server_count": 4, "ticks": 100},
+        }
+
+        async def scenario():
+            config = ServiceConfig(port=0, workers=1, window_s=0.0)
+            async with SimulationService(config) as service:
+                patient = asyncio.ensure_future(
+                    _http_json(service.port, "POST", "/v1/jobs", body)
+                )
+                for _ in range(100):
+                    if service.coalescer.inflight == 1:
+                        break
+                    await asyncio.sleep(0.05)
+                assert service.coalescer.inflight == 1
+
+                status, payload, _ = await _http_json(
+                    service.port,
+                    "POST",
+                    "/v1/jobs",
+                    {**body, "timeout_s": 0.1},
+                )
+                assert status == 504, payload
+                # The shared job survives its impatient client: still
+                # in flight (not evicted), still deduplicated.
+                assert service.coalescer.inflight == 1
+                release.set()
+                return await patient
+
+        try:
+            status, payload, _ = asyncio.run(scenario())
+        finally:
+            release.set()  # never strand the worker thread on failure
+        assert status == 200
+        assert payload["results"][0]["event"] == "result"
+        assert _counters()["service.dedup.joined"] == 1
+        assert _counters()["service.timeouts"] == 1
+
+    def test_identical_request_after_cancellation_starts_a_fresh_job(self):
+        """Regression: a new identical request used to join an in-flight
+        job whose waiters had all disconnected — a job already doomed to
+        fail with JobCancelled — and got a spurious 'cancelled' answer
+        despite actively waiting."""
+
+        async def scenario():
+            pool = WorkerPool(workers=1)
+            try:
+                coalescer = Coalescer(pool, cache=None, window_s=60.0)
+                doomed = coalescer.submit(_SPECS[0])
+                doomed.release()  # the only waiter hangs up
+                assert doomed.cancelled
+                fresh = coalescer.submit(_SPECS[0])
+                try:
+                    assert fresh is not doomed
+                    assert not fresh.cancelled
+                    assert coalescer._inflight[fresh.key] is fresh
+                finally:
+                    fresh.release()
+            finally:
+                pool.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestLateSubscribers:
+    def test_subscribe_after_finish_delivers_sentinel(self):
+        """Regression: a subscriber arriving after the job finished used
+        to wait forever — the terminal fan-out had already snapshotted
+        the subscriber list without it."""
+
+        async def scenario():
+            job = Job(_SPECS[0], "deadbeef")
+            job.finish(
+                JobOutcome(
+                    payload={}, fingerprint="fp", cached=True, batch_size=0
+                )
+            )
+            queue = job.subscribe()
+            assert await asyncio.wait_for(queue.get(), timeout=1.0) is None
+
+        asyncio.run(scenario())
+
+    def test_streaming_a_cached_spec_returns_the_result(
+        self, obs_sandbox, tmp_path
+    ):
+        """Regression: a cache hit finishes its job synchronously inside
+        Coalescer.submit(), before _stream_jobs creates its pump tasks;
+        the pump never saw the terminal sentinel, so the client idled
+        out the full request deadline and got a 'timeout' event instead
+        of bytes the cache already held."""
+
+        async def scenario():
+            config = ServiceConfig(
+                port=0, workers=1, cache=tmp_path / "c", window_s=0.0
+            )
+            async with SimulationService(config) as service:
+                service.cache.put(cache_spec(_SPECS[0]), {"canned": 1})
+                return await asyncio.wait_for(
+                    _http_stream(
+                        service.port,
+                        {
+                            "tenant": "t",
+                            "stream": True,
+                            "timeout_s": 5.0,
+                            "spec": _SPECS[0].payload(),
+                        },
+                    ),
+                    timeout=30.0,
+                )
+
+        events = asyncio.run(scenario())
+        kinds = [event["event"] for event in events]
+        assert "timeout" not in kinds
+        result = next(e for e in events if e["event"] == "result")
+        assert result["cached"] is True
+        assert result["payload"] == {"canned": 1}
+        assert kinds[-1] == "end"
 
 
 class TestExperimentDedup:

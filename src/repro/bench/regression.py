@@ -24,8 +24,11 @@ gate compares against is the same schema, checked in at
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import platform
+import pstats
 import statistics
 import subprocess
 import sys
@@ -114,7 +117,18 @@ def _cluster_ticks(quick: bool, jobs: int) -> Callable[[], object]:
     return run
 
 
-def _fluid_day(quick: bool, jobs: int) -> Callable[[], object]:
+def _fluid_speedup(
+    quick: bool, servers: int, gate: bool
+) -> Callable[[], object]:
+    """Interleaved reference-vs-batched fluid run on the Google day.
+
+    Each repeat runs the scalar reference engine and then the batched
+    stretch engine on the identical workload, so machine-load drift hits
+    both arms and the ratio stays honest. ``gate`` scenarios (the
+    1008-server day, full mode only) land the floored ratio in
+    ``dcsim.bench.fluid_speedup`` plus the ``_ge_3x`` gate counter;
+    non-gated runs record the ratio for eyeballing only.
+    """
     from repro.dcsim.cluster import ClusterTopology
     from repro.dcsim.simulator import DatacenterSimulator, SimulationConfig
     from repro.materials.library import commercial_paraffin_with_melting_point
@@ -125,15 +139,51 @@ def _fluid_day(quick: bool, jobs: int) -> Callable[[], object]:
     spec = one_u_commodity()
     characterization = characterize_platform(spec)
     trace = synthesize_google_trace().total
-    servers = 96 if quick else 1008
-    return lambda: DatacenterSimulator(
-        characterization,
-        spec.power_model,
-        commercial_paraffin_with_melting_point(43.0),
-        trace,
-        topology=ClusterTopology(server_count=servers),
-        config=SimulationConfig(mode="fluid", wax_enabled=True),
-    ).run()
+
+    def run() -> dict[str, float]:
+        def simulate(engine: str) -> float:
+            simulator = DatacenterSimulator(
+                characterization,
+                spec.power_model,
+                commercial_paraffin_with_melting_point(43.0),
+                trace,
+                topology=ClusterTopology(server_count=servers),
+                config=SimulationConfig(
+                    mode="fluid", wax_enabled=True, engine=engine
+                ),
+            )
+            start = time.perf_counter()
+            simulator.run()
+            return time.perf_counter() - start
+
+        reference_s = simulate("reference")
+        batched_s = simulate("batched")
+        speedup = reference_s / batched_s if batched_s > 0 else 0.0
+        obs = get_registry()
+        if obs.enabled:
+            obs.record("dcsim.bench.fluid_speedup_ratio", speedup)
+            # Floor, so the counter reads "at least Nx"; quick mode runs
+            # a smaller cluster and skips the gate counters.
+            if gate and not quick:
+                obs.count("dcsim.bench.fluid_speedup", int(speedup))
+                obs.count(
+                    "dcsim.bench.fluid_speedup_ge_3x", int(speedup >= 3.0)
+                )
+        return {
+            "reference_s": reference_s,
+            "batched_s": batched_s,
+            "speedup": speedup,
+        }
+
+    return run
+
+
+def _fluid_day_96(quick: bool, jobs: int) -> Callable[[], object]:
+    return _fluid_speedup(quick, servers=48 if quick else 96, gate=False)
+
+
+def _fluid_day_1008(quick: bool, jobs: int) -> Callable[[], object]:
+    return _fluid_speedup(quick, servers=252 if quick else 1008, gate=True)
 
 
 def _event_day(quick: bool, jobs: int) -> Callable[[], object]:
@@ -584,9 +634,21 @@ SCENARIOS: tuple[Scenario, ...] = (
         _cluster_ticks,
     ),
     Scenario(
+        "fluid_day_96",
+        "two simulated days of a 96-server cluster in fluid mode, "
+        "reference then batched engine back to back; the ratio is "
+        "recorded (not gated) in dcsim.bench.fluid_speedup_ratio",
+        _fluid_day_96,
+        repeats=2,
+    ),
+    Scenario(
         "fluid_day_1008",
-        "two simulated days of a 1008-server cluster in fluid mode",
-        _fluid_day,
+        "two simulated days of a 1008-server cluster in fluid mode, "
+        "reference then batched engine back to back; the floored ratio "
+        "lands in the dcsim.bench.fluid_speedup counter and the gate "
+        "counter dcsim.bench.fluid_speedup_ge_3x",
+        _fluid_day_1008,
+        repeats=2,
     ),
     Scenario(
         "event_day_96",
@@ -718,6 +780,7 @@ def run_scenarios(
     quick: bool = False,
     jobs: int = 1,
     echo: Callable[[str], None] | None = None,
+    profiler: "cProfile.Profile | None" = None,
 ) -> dict[str, object]:
     """Run the suite and return the artifact dict (``BENCH_SCHEMA``).
 
@@ -731,6 +794,11 @@ def run_scenarios(
     to the runner's — compare artifacts measured at the same ``jobs``.
     The repeat loop itself always runs serially in-process through the
     runner: timing demands the measured work own the interpreter.
+
+    ``profiler`` (a ``cProfile.Profile``) is enabled around every
+    measured repeat, accumulating one profile across the selection.
+    Tracing inflates wall times, so profiled reports are for hotspot
+    hunting — don't gate them against an unprofiled baseline.
     """
     selected = SCENARIOS
     if names is not None:
@@ -754,9 +822,15 @@ def run_scenarios(
 
             def run_once(_repeat: int) -> float:
                 registry.reset()
-                start = time.perf_counter()
-                runner()
-                return time.perf_counter() - start
+                if profiler is not None:
+                    profiler.enable()
+                try:
+                    start = time.perf_counter()
+                    runner()
+                    return time.perf_counter() - start
+                finally:
+                    if profiler is not None:
+                        profiler.disable()
 
             times: list[float] = list(
                 sweep(
@@ -968,6 +1042,24 @@ def render_markdown_summary(
     return "\n".join(lines) + "\n"
 
 
+def render_profile_markdown(
+    profiler: cProfile.Profile, top: int = 25
+) -> str:
+    """The profiler's cumulative-time top-N as a markdown section.
+
+    Appended to the ``--markdown-summary`` file (and echoed to stdout)
+    by ``--profile`` runs, so the next hot loop is found by tooling
+    instead of archaeology.
+    """
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return (
+        f"### cProfile — top {top} by cumulative time\n\n"
+        "```\n" + buffer.getvalue().rstrip() + "\n```\n"
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI: run the suite, write the artifact, optionally gate."""
     parser = argparse.ArgumentParser(
@@ -1033,6 +1125,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         "$GITHUB_STEP_SUMMARY); requires --baseline",
     )
     parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="wrap the measured repeats in cProfile and dump the raw "
+        "pstats data to PATH; the cumulative-time top-N is printed and, "
+        "with --markdown-summary, appended to the summary. Tracing "
+        "inflates wall times, so pair with a scenario subset rather "
+        "than the gate",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows of the pstats table shown by --profile (default "
+        "%(default)s)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -1073,6 +1183,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         baseline = json.loads(baseline_path.read_text())
 
+    if args.profile is not None and args.profile_top < 1:
+        print("--profile-top must be >= 1", file=sys.stderr)
+        return 2
+    profiler = cProfile.Profile() if args.profile is not None else None
+
     print(f"running {len(names or SCENARIOS)} benchmark scenarios "
           f"({'quick' if args.quick else 'full'} mode)...")
     report = run_scenarios(
@@ -1081,6 +1196,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         quick=args.quick,
         jobs=args.jobs,
         echo=print,
+        profiler=profiler,
     )
 
     output_dir = Path(args.output_dir)
@@ -1088,6 +1204,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     artifact = output_dir / f"BENCH_{report['git_sha']}.json"
     artifact.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {artifact}")
+
+    profile_section: str | None = None
+    if profiler is not None:
+        profile_path = Path(args.profile)
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(profile_path)
+        print(f"wrote profile {profile_path}")
+        profile_section = render_profile_markdown(
+            profiler, top=args.profile_top
+        )
+        print(profile_section)
 
     if args.update_baseline:
         update_path = Path(args.update_baseline)
@@ -1113,6 +1240,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             handle.write(
                 render_markdown_summary(report, baseline, args.tolerance)
             )
+            if profile_section is not None:
+                handle.write("\n" + profile_section)
         print(f"appended summary to {summary_path}")
     return 0 if comparison.ok else 1
 

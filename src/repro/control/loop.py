@@ -214,6 +214,19 @@ class ControlLoop:
         self._time_s = time_s
         self._dt_s = dt_s
 
+    def constant_decision(self, state: ClusterThermalState) -> None:
+        """No constant-decision certificate: the loop is stateful.
+
+        Every tick mutates the monitor history, the verifier's
+        predicted-vs-realized streaks, the executor's sprint budget, and
+        the decision log — so no decision can be promised constant ahead
+        of time. Returning ``None`` keeps the batched fluid engine on
+        the verbatim scalar path for control-loop runs (the ``begin_tick``
+        clock hook alone already forces that); this explicit seam is
+        where a future open-loop schedule could certify its plateaus.
+        """
+        return None
+
     # -- policy protocol -----------------------------------------------------
 
     def _ensure_executor(self, state: ClusterThermalState) -> Executor:

@@ -82,11 +82,15 @@ _EMPTY_I = np.empty(0, dtype=np.int64)
 #: loses to the scalar engine.
 _SEG_LIMIT = 6
 
-#: Ticks the engine stays scalar after a degenerate mega-pass before
-#: probing the vectorized path again. Conflict density tracks the diurnal
-#: load, so the regime persists for many consecutive ticks; a short hold
-#: keeps probe overhead negligible without missing the regime change.
-_SCALAR_HOLD = 8
+#: Forecast horizon, in ticks, of the scalar-band pass that runs after a
+#: degenerate mega-pass. Conflict density tracks the diurnal load, so the
+#: degenerate regime persists for many consecutive ticks; instead of
+#: blindly holding scalar for a fixed count and re-probing, the engine
+#: projects slot occupancy over the next ``_BAND_TICKS`` tick edges (from
+#: the drained pending heap plus the remaining arrival stream) and stays
+#: scalar exactly for the run of edges still above the occupancy gate.
+#: Setting this to 0 disables holds entirely (every tick re-probes).
+_BAND_TICKS = 64
 
 #: Occupancy fraction above which ticks skip the vectorized probe
 #: entirely. Conflicts are pops that leave a *full* server, and measured
@@ -254,6 +258,21 @@ class TypedEventQueue:
         self._runs.clear()
         self._heads.clear()
         heapq.heapify(self._pending)
+
+    def pending_work_times(self) -> np.ndarray:
+        """Work times of every event in the pending heap (heap order).
+
+        After :meth:`drain_to_pending` the heap holds every live
+        completion, so this is the whole queue as one unsorted array —
+        the input of the batched core's scalar-band forecast.
+        """
+        if not self._pending:
+            return _EMPTY_F
+        return np.fromiter(
+            (event[0] for event in self._pending),
+            dtype=np.float64,
+            count=len(self._pending),
+        )
 
     # -- batch operations ----------------------------------------------------
 
@@ -541,9 +560,14 @@ class _BatchedCore(_CoreBase):
     per-segment NumPy overhead loses to plain scalar processing. The
     engine is therefore *regime-adaptive*: a mega-pass that degenerates
     switches the core to a reference-style heap loop (see
-    :meth:`_process_scalar`) for ``_SCALAR_HOLD`` ticks before probing
-    the vectorized path again. Either path logs the same transition
-    multiset, so the reduction stays byte-identical.
+    :meth:`_process_scalar`) and then *forecasts* how long the conflict-
+    dense band lasts (:meth:`_forecast_scalar_band`): a run-length
+    segmented pass over the drained pending heap and the remaining
+    arrival stream projects occupancy at the next ``_BAND_TICKS`` tick
+    edges, and the vectorized probe stays off until the first edge back
+    below the occupancy gate. The forecast is a scheduling heuristic
+    only — either path logs the same transition multiset, so the
+    reduction stays byte-identical regardless of what it predicts.
     """
 
     def __init__(self, arr_times, arr_services, n_servers, load_balancer):
@@ -552,7 +576,13 @@ class _BatchedCore(_CoreBase):
         # The full/not-full dispatch argument above is exact only for the
         # plain RoundRobin policy, not arbitrary subclasses of it.
         self._rr_chunks = type(load_balancer) is RoundRobin
-        self._scalar_hold = 0
+        # Real-time bound below which vectorized probes stay off; set by
+        # the scalar-band forecast after a degenerate mega-pass.
+        self._scalar_until = -np.inf
+        self._forecast_pending = False
+        # Deterministic forecast telemetry (dcsim.engine.forecast_*).
+        self.forecast_bands = 0
+        self.forecast_band_ticks = 0
 
     def pending_completions(self) -> int:
         return len(self.store)
@@ -560,25 +590,33 @@ class _BatchedCore(_CoreBase):
     def process_until(
         self, tick_time: float, t0: float, w0: float, tf: float, slot_limit: int
     ) -> None:
-        if self._rr_chunks and self.queue_head >= len(self.queue):
-            if self._scalar_hold > 0:
-                self._scalar_hold -= 1
-            elif (
-                int(self.busy.sum())
-                < _VECTOR_OCCUPANCY * len(self.busy) * slot_limit
-            ):
-                while True:
-                    status = self._try_chunk(
-                        tick_time, t0, w0, tf, slot_limit
-                    )
-                    if status == _DONE:
-                        return
-                    if status == _ADVANCED:
-                        continue
-                    if status == _DEGENERATE:
-                        self._scalar_hold = _SCALAR_HOLD
-                    break
+        if (
+            self._rr_chunks
+            and self.queue_head >= len(self.queue)
+            and t0 >= self._scalar_until
+            and int(self.busy.sum())
+            < _VECTOR_OCCUPANCY * len(self.busy) * slot_limit
+        ):
+            while True:
+                status = self._try_chunk(
+                    tick_time, t0, w0, tf, slot_limit
+                )
+                if status == _DONE:
+                    return
+                if status == _ADVANCED:
+                    continue
+                if status == _DEGENERATE:
+                    # Forecast after the scalar pass settles this tick's
+                    # state (the drained heap and arrival cursor are what
+                    # the projection reads).
+                    self._forecast_pending = True
+                break
         self._process_scalar(tick_time, t0, w0, tf, slot_limit)
+        if self._forecast_pending:
+            self._forecast_pending = False
+            self._scalar_until = self._forecast_scalar_band(
+                tick_time, t0, w0, tf, slot_limit
+            )
 
     def _process_scalar(
         self, tick_time: float, t0: float, w0: float, tf: float, slot_limit: int
@@ -657,6 +695,65 @@ class _BatchedCore(_CoreBase):
                     heapq.heappush(heap, (w_a + service, index, service))
                     log.add(t_a, index, +1, service)
         self.busy[:] = busy
+
+    # -- scalar-band forecast ------------------------------------------------
+
+    def _forecast_scalar_band(
+        self, tick_time: float, t0: float, w0: float, tf: float, slot_limit: int
+    ) -> float:
+        """Real time until which the conflict-dense band is projected to last.
+
+        Runs right after a degenerate tick finished scalar, when
+        :meth:`_process_scalar` has drained every live completion into
+        the pending heap. One segmented pass projects slot occupancy at
+        the next ``_BAND_TICKS`` tick edges:
+
+        * cumulative arrivals per edge — ``searchsorted`` over the
+          remaining arrival stream;
+        * cumulative departures per edge — the drained heap's work times
+          mapped through the current anchor, merged with the first-pass
+          completions the future arrivals themselves would post
+          (``t_a + service / tf``);
+        * occupancy = current busy slots + arrivals − departures.
+
+        The returned bound is the first edge back below the
+        ``_VECTOR_OCCUPANCY`` gate (the run length of the above-gate
+        band), so the whole band runs scalar with zero per-tick probe
+        overhead and the probe resumes exactly when the regime is
+        projected to flip. The projection ignores queueing and future
+        DVFS changes — it is a scheduling heuristic only; results stay
+        byte-identical whatever it predicts.
+        """
+        dt = tick_time - t0
+        if dt <= 0.0 or _BAND_TICKS <= 0:
+            return tick_time
+        edges = tick_time + dt * np.arange(1, _BAND_TICKS + 1)
+        lo = self.i
+        hi = int(np.searchsorted(self.arr_times, float(edges[-1]), side="right"))
+        arrivals = np.searchsorted(self.arr_times[lo:hi], edges, side="right")
+        parts = []
+        pending_w = self.store.pending_work_times()
+        if len(pending_w):
+            t_pending = t0 + (pending_w - w0) / tf
+            parts.append(t_pending)
+        if hi > lo:
+            parts.append(
+                self.arr_times[lo:hi] + self.arr_services[lo:hi] / tf
+            )
+        if parts:
+            departures_at = np.sort(np.concatenate(parts))
+            departures = np.searchsorted(departures_at, edges, side="right")
+        else:
+            departures = np.zeros(len(edges), dtype=np.int64)
+        occupancy = int(self.busy.sum()) + arrivals - departures
+        above = occupancy >= _VECTOR_OCCUPANCY * len(self.busy) * slot_limit
+        if above.all():
+            band = _BAND_TICKS
+        else:
+            band = int(np.argmin(above))
+        self.forecast_bands += 1
+        self.forecast_band_ticks += band
+        return tick_time + band * dt
 
     # -- chunk fast path -----------------------------------------------------
 
@@ -1117,6 +1214,12 @@ def run_event_mode(sim):
     if obs.enabled:
         obs.count("dcsim.events", core.events)
         obs.count(f"dcsim.engine.{config.engine}")
+        bands = getattr(core, "forecast_bands", 0)
+        if bands:
+            obs.count("dcsim.engine.forecast_bands", bands)
+            obs.count(
+                "dcsim.engine.forecast_band_ticks", core.forecast_band_ticks
+            )
         obs.count("dcsim.throttle_ticks", throttle_ticks)
         obs.record_max("dcsim.queue_high_water", core.queue_high_water)
         if elapsed > 0:

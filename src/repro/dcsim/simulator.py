@@ -49,8 +49,9 @@ class SimulationConfig:
     inlet_temperature_c: float = 25.0
     wax_enabled: bool = True
     seed: int = 7
-    #: Event-mode engine: "batched" (vectorized, the default) or
-    #: "reference" (per-event loop). Bit-identical; see docs/EVENTSIM.md.
+    #: Simulation engine for both modes: "batched" (vectorized, the
+    #: default) or "reference" (per-event / per-tick scalar loop).
+    #: Bit-identical by construction; see docs/EVENTSIM.md.
     engine: str = "batched"
 
     def __post_init__(self) -> None:
@@ -256,89 +257,12 @@ class DatacenterSimulator:
     # -- fluid mode ---------------------------------------------------------
 
     def _run_fluid(self) -> SimulationResult:
-        state = self._make_state()
-        self.initial_specific_enthalpy_j_per_kg = np.array(
-            state.specific_enthalpy_j_per_kg, copy=True
-        )
-        n_servers = self.topology.server_count
-        dt = self.config.tick_interval_s
-        ticks = self._tick_times()
-        injector = self.fault_injector
+        # Both fluid engines (stretch-batched and per-tick reference)
+        # live in repro.dcsim.fluid_engine; they share one scalar tick
+        # body and are bit-identical by construction.
+        from repro.dcsim.fluid_engine import run_fluid_mode
 
-        throttle_ticks = 0
-        records = _Recorder(len(ticks), n_servers)
-        # Per-tick control hook: policies that implement begin_tick (e.g.
-        # repro.control.ControlLoop) receive the simulation clock before
-        # each decision; plain policies are untouched.
-        begin_tick = getattr(self.policy, "begin_tick", None)
-        for i, t in enumerate(ticks):
-            demand = float(np.clip(self.trace.value_at(t - 0.5 * dt), 0.0, 1.0))
-            if injector is not None:
-                injector.advance_to(t, room=self.room)
-            self._pre_tick(state)
-            if injector is not None:
-                injector.apply_state(state, base_inlet_c=self._base_inlet_c())
-            # Policies see the offered work rate in nominal capacity units
-            # (possibly corrupted by an active sensor fault).
-            work_rate = np.full(n_servers, demand)
-            if injector is not None:
-                work_rate = injector.observe(work_rate)
-            if begin_tick is not None:
-                begin_tick(t, dt)
-            decision = self.policy.decide(state, work_rate)
-            if injector is not None:
-                decision = injector.constrain(decision)
-            if decision.limited:
-                throttle_ticks += 1
-            tf = self.power_model.throughput_factor(decision.frequency_ghz)
-            offline = (
-                injector.offline_count(n_servers) if injector is not None else 0
-            )
-            if offline > 0:
-                # Surviving servers absorb the whole offered load; the
-                # failed (lowest-indexed) servers sit idle.
-                alive = n_servers - offline
-                concentrated = demand * n_servers / alive
-                utilization = min(
-                    concentrated / tf, 1.0, decision.utilization_cap
-                )
-                utilization_vec = np.zeros(n_servers)
-                utilization_vec[offline:] = utilization
-                served = utilization * tf * alive / n_servers
-                mean_utilization = utilization * alive / n_servers
-            else:
-                utilization = np.minimum(demand / tf, 1.0)
-                utilization = np.minimum(utilization, decision.utilization_cap)
-                utilization_vec = np.full(n_servers, utilization)
-                served = utilization * tf
-                mean_utilization = utilization
-            shed = max(demand - served, 0.0)
-
-            power, release, wax = state.step(dt, utilization_vec, decision.frequency_ghz)
-            room_temp = self._post_tick(float(np.sum(release)), dt)
-            records.store(
-                i,
-                time_s=t,
-                demand=demand,
-                utilization=mean_utilization,
-                frequency=decision.frequency_ghz,
-                power=float(np.sum(power)),
-                release=float(np.sum(release)),
-                wax=float(np.sum(wax)),
-                melt=float(np.mean(state.melt_fraction)),
-                throughput=served,
-                queue=0.0,
-                shed=shed * n_servers,
-                room=room_temp,
-            )
-        get_registry().count("dcsim.throttle_ticks", throttle_ticks)
-        self.final_state = state
-        initial_u = float(np.clip(self.trace.value_at(0.0), 0.0, 1.0))
-        return records.result(
-            n_servers,
-            self.power_model.nominal_frequency_ghz,
-            initial_power_w=n_servers * self.power_model.wall_power_w(initial_u),
-        )
+        return run_fluid_mode(self)
 
     # -- event mode -----------------------------------------------------------
 

@@ -465,6 +465,140 @@ class BatchedClusterThermalState:
 
         return power, power - wax_heat, wax_heat
 
+    # -- stretch advance -----------------------------------------------------
+
+    def uniform_advancer(self, dt_s: float) -> "UniformStretchAdvancer | None":
+        """A scalar stretch-advance view of this state, or ``None``.
+
+        Eligibility demands that every elementwise operation of
+        :meth:`step` would act on *identical* inputs across the whole
+        ``(1, servers)`` state: one cluster, no per-server inlet offsets,
+        no active fault scales (exactly 1.0 means the scaled quantity is
+        never multiplied), and a zone/enthalpy field that is uniform to
+        the bit. Under those conditions the returned advancer replays the
+        step arithmetic on Python scalars, bit-identically per server —
+        the fluid engine's stretch fast path (see
+        :mod:`repro.dcsim.fluid_engine`).
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"tick must be positive, got {dt_s}")
+        if self.cluster_count != 1:
+            return None
+        if (
+            self._ua_scale != 1.0
+            or self._zone_delta_scale != 1.0
+            or self._wax_capacity_factor != 1.0
+        ):
+            return None
+        if self.inlet_offset_c.any():
+            return None
+        zone = self.zone_temperature_c[0]
+        enthalpy = self.specific_enthalpy_j_per_kg[0]
+        if np.ptp(zone) != 0.0 or np.ptp(enthalpy) != 0.0:
+            return None
+        return UniformStretchAdvancer(self, dt_s)
+
+
+class UniformStretchAdvancer:
+    """Scalar recursion over a uniform single-cluster thermal state.
+
+    Obtained from :meth:`BatchedClusterThermalState.uniform_advancer`
+    once the state is provably uniform across servers. Each
+    :meth:`tick` performs, on plain Python floats, exactly the
+    per-element arithmetic (and branch structure) that
+    :meth:`BatchedClusterThermalState.step` performs on every server —
+    elementwise IEEE operations on identical inputs yield identical
+    outputs, so the trajectory is bit-identical to stepping the arrays.
+    :meth:`commit` broadcasts the final scalars back over the array
+    state. The advancer is single-use: commit once, then discard.
+
+    The zone/enthalpy recursion is inherently sequential in time, so the
+    win is not vectorization across ticks but replacing ~15 small-array
+    NumPy operations per tick with a handful of float operations.
+    """
+
+    def __init__(self, state: BatchedClusterThermalState, dt_s: float) -> None:
+        self._state = state
+        self._characterization = state.characterization
+        self._dt_s = float(dt_s)
+        power_model = state.power_model
+        self._idle_w = float(power_model.idle_power_w)
+        self._dynamic_range_w = float(power_model.dynamic_range_w)
+        # Same expression step() evaluates each tick (dt and the time
+        # constant never change mid-run, so neither does the result).
+        self._blend = float(
+            1.0 - np.exp(-dt_s / state.characterization.zone_time_constant_s)
+        )
+        self._solidus = float(state._solidus[0, 0])
+        self._liquidus = float(state._liquidus[0, 0])
+        self._fusion = float(state._fusion[0, 0])
+        self._c_solid = float(state._c_solid[0, 0])
+        self._c_liquid = float(state._c_liquid[0, 0])
+        self._melt_range = float(state._melt_range[0, 0])
+        self._wax_mass = float(state.effective_wax_mass_kg)
+        self._enabled = bool(state.wax_enabled[0])
+        self._zone = float(state.zone_temperature_c[0, 0])
+        self._enthalpy = float(state.specific_enthalpy_j_per_kg[0, 0])
+
+    def interp_series(
+        self, effective_utilization: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-tick (zone delta, UA) series for a stretch.
+
+        ``np.interp`` evaluates elementwise, so looking a whole stretch
+        up at once is bit-identical to the per-tick scalar lookups
+        inside :meth:`BatchedClusterThermalState.step` (which, absent
+        fault scales — an eligibility condition — applies no further
+        arithmetic to either).
+        """
+        characterization = self._characterization
+        return (
+            characterization.zone_delta_at(effective_utilization),
+            characterization.ua_at(effective_utilization),
+        )
+
+    def tick(
+        self, inlet_c: float, u_eff: float, zone_delta: float, ua: float
+    ) -> tuple[float, float, float, float]:
+        """Advance one tick; returns (power, release, wax heat, melt).
+
+        All four returns are *per-server* scalars; every server of the
+        uniform state carries the same value this tick.
+        """
+        power = self._idle_w + (self._dynamic_range_w * u_eff)
+        # target = inlet[:, None] + inlet_offset + zone_delta, with the
+        # offsets all exactly 0.0 by eligibility.
+        target = inlet_c + 0.0 + zone_delta
+        zone = self._zone
+        zone = zone + self._blend * (target - zone)
+        enthalpy = self._enthalpy
+        # The chosen branch of the np.where enthalpy->temperature map.
+        if enthalpy <= 0.0:
+            wax_t = self._solidus + enthalpy / self._c_solid
+        elif enthalpy >= self._fusion:
+            wax_t = self._liquidus + (enthalpy - self._fusion) / self._c_liquid
+        else:
+            wax_t = self._solidus + (enthalpy / self._fusion) * self._melt_range
+        if self._enabled:
+            heat = ua * (zone - wax_t)
+            enthalpy = enthalpy + heat * self._dt_s / self._wax_mass
+        else:
+            heat = 0.0
+            enthalpy = enthalpy + 0.0
+        self._zone = zone
+        self._enthalpy = enthalpy
+        melt = enthalpy / self._fusion
+        if melt < 0.0:
+            melt = 0.0
+        elif melt > 1.0:
+            melt = 1.0
+        return power, power - heat, heat, melt
+
+    def commit(self) -> None:
+        """Broadcast the final scalars back over the array state."""
+        self._state.zone_temperature_c[:] = self._zone
+        self._state.specific_enthalpy_j_per_kg[:] = self._enthalpy
+
 
 class ClusterThermalState:
     """Mutable thermal state of every server in one cluster.
@@ -573,6 +707,10 @@ class ClusterThermalState:
     def effective_wax_mass_kg(self) -> float:
         """Per-server wax mass after any fault-injected capacity fade."""
         return self._batched.effective_wax_mass_kg
+
+    def uniform_advancer(self, dt_s: float) -> "UniformStretchAdvancer | None":
+        """Scalar stretch-advance view (see the batched form), or ``None``."""
+        return self._batched.uniform_advancer(dt_s)
 
     def effective_utilization(
         self, utilization: np.ndarray, frequency_ghz: float

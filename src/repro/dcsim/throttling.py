@@ -104,6 +104,24 @@ class NoThermalLimit:
             frequency_ghz=state.power_model.nominal_frequency_ghz
         )
 
+    def constant_decision(
+        self, state: ClusterThermalState
+    ) -> ThrottleDecision:
+        """Constant-decision certificate for the fluid engine.
+
+        A policy may implement this protocol to promise that, for the
+        rest of the run, :meth:`decide` returns a decision with exactly
+        these fields no matter what state or observation it is shown —
+        licensing the batched fluid engine to advance whole stretches
+        without consulting the policy per tick. Stateful or
+        state-dependent policies must return ``None`` (or simply not
+        implement the method). This policy is memoryless and ignores its
+        inputs entirely, so the certificate is unconditional.
+        """
+        return ThrottleDecision(
+            frequency_ghz=state.power_model.nominal_frequency_ghz
+        )
+
 
 class ThermalLimitPolicy:
     """Enforce an instantaneous cluster heat-release limit.

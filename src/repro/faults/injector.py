@@ -189,6 +189,46 @@ class FaultInjector:
         offline = int(effects.offline_fraction * server_count)
         return min(offline, server_count - 1)
 
+    # -- stretch advance ---------------------------------------------------
+
+    @property
+    def is_dormant(self) -> bool:
+        """True when every per-tick hook is provably inert right now.
+
+        Requires no active effects, no knob awaiting restoration (inlet
+        excursion or thermal scales applied on an earlier tick), and no
+        fault cleared on the immediately preceding tick (whose recovery
+        counter must still be tallied by a real :meth:`advance_to`). The
+        fluid engine's batched stretches require this plus a
+        :meth:`next_boundary` beyond the stretch.
+        """
+        return (
+            self.current is None
+            and not self._inlet_dirty
+            and not self._scales_dirty
+            and not self._previously_active
+        )
+
+    def next_boundary(self, after_s: float) -> float:
+        """Earliest fault start strictly after ``after_s`` (else ``inf``)."""
+        return self.schedule.next_boundary(after_s)
+
+    def fast_forward(self, time_s: float, observed=None) -> None:
+        """Replay the bookkeeping of a quiet stretch ending at ``time_s``.
+
+        The caller guarantees :attr:`is_dormant` held at the stretch
+        start and every skipped tick lies strictly before
+        ``next_boundary``; per-tick hooks would then have been pure
+        bookkeeping: advancing the clock and re-holding the last sensor
+        reading (``observed``, the stretch's final work-rate vector) in
+        case a future dropout freezes it. Counters, room capacity, and
+        state knobs are untouched, exactly as N quiet ticks would have
+        left them.
+        """
+        self._now = time_s
+        if self._touches_sensors and observed is not None:
+            self._held_observation = np.array(observed, copy=True)
+
     # -- accounting --------------------------------------------------------
 
     def _count(self, time_s: float) -> None:

@@ -324,6 +324,18 @@ class FaultSchedule:
         """The faults active at a simulation time."""
         return tuple(f for f in self.faults if f.active_at(time_s))
 
+    def next_boundary(self, after_s: float) -> float:
+        """Earliest fault start strictly after ``after_s`` (else ``inf``).
+
+        Faults activate at the first instant with ``start_s <= t``, so
+        every time strictly before the returned boundary — given nothing
+        is active or pending restoration at ``after_s`` — resolves to no
+        effects. The fluid engine's stretch detector uses this to bound
+        how far it may advance without consulting :meth:`effects_at`.
+        """
+        starts = [f.start_s for f in self.faults if f.start_s > after_s]
+        return min(starts) if starts else math.inf
+
     def effects_at(self, time_s: float) -> FaultEffects | None:
         """Combined effects at a time, or ``None`` when nothing is active.
 

@@ -10,6 +10,7 @@ heap.
 """
 
 import heapq
+from collections import deque
 
 import numpy as np
 import pytest
@@ -78,7 +79,7 @@ def force_vectorized(monkeypatch):
     """
     monkeypatch.setattr(ee, "_VECTOR_MIN", 0)
     monkeypatch.setattr(ee, "_VECTOR_OCCUPANCY", 1.0)
-    monkeypatch.setattr(ee, "_SCALAR_HOLD", 0)
+    monkeypatch.setattr(ee, "_BAND_TICKS", 0)
 
 
 class TestEngineEquivalence:
@@ -93,8 +94,8 @@ class TestEngineEquivalence:
     def test_bit_identical_traces(self, data, servers, seed, balancer, outage):
         # Patch inside the example (not a fixture) so hypothesis's
         # per-example reuse of the test context stays sound.
-        saved = (ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD)
-        ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD = 0, 1.0, 0
+        saved = (ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._BAND_TICKS)
+        ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._BAND_TICKS = 0, 1.0, 0
         try:
             levels = data.draw(
                 st.lists(
@@ -131,7 +132,7 @@ class TestEngineEquivalence:
                 schedule=schedule,
             )
         finally:
-            ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._SCALAR_HOLD = saved
+            ee._VECTOR_MIN, ee._VECTOR_OCCUPANCY, ee._BAND_TICKS = saved
 
     def test_saturating_burst_queues_identically(self, force_vectorized):
         # A burst over capacity exercises the FIFO queue, the bulk-queue
@@ -315,3 +316,69 @@ class TestQueueCompaction:
             schedule=None,
         )
         assert result.queue_length.max() > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.floats(min_value=1e-3, max_value=1e3),
+                st.none(),
+            ),
+            max_size=200,
+        ),
+        threshold=st.integers(min_value=1, max_value=16),
+    )
+    def test_fifo_accounting_matches_deque_oracle(self, ops, threshold):
+        # The compaction audit's pin: drive the list+head FIFO through
+        # the exact append/consume/compact protocol the scalar path uses
+        # (a float op = append, None = consume) against a plain deque.
+        # Accounting must agree op for op, and the consumed prefix must
+        # stay bounded by the compaction rule.
+        saved = ee.QUEUE_COMPACT_THRESHOLD
+        ee.QUEUE_COMPACT_THRESHOLD = threshold
+        try:
+            core = ee._CoreBase(
+                np.empty(0), np.empty(0), 2, RoundRobin()
+            )
+            oracle = deque()
+            high_water = 0
+            for op in ops:
+                if op is not None:
+                    core.queue.append(op)
+                    core._note_queue_depth()
+                    oracle.append(op)
+                    high_water = max(high_water, len(oracle))
+                elif oracle:
+                    assert core.queue[core.queue_head] == oracle.popleft()
+                    core.queue_head += 1
+                    core._compact_queue()
+                assert core.queue_depth() == len(oracle)
+                assert list(core.queue[core.queue_head :]) == list(oracle)
+                # Post-compaction invariant: the consumed prefix is below
+                # the threshold, or still a minority of the list.
+                assert (
+                    core.queue_head < ee.QUEUE_COMPACT_THRESHOLD
+                    or core.queue_head * 2 < len(core.queue)
+                )
+            assert core.queue_high_water == high_water
+        finally:
+            ee.QUEUE_COMPACT_THRESHOLD = saved
+
+    def test_pending_work_times_mirror_heap(self):
+        # The scalar-band forecast reads pending_work_times() after a
+        # drain; it must be the heap's contents exactly (any order).
+        queue = TypedEventQueue()
+        rng = np.random.default_rng(7)
+        w = rng.uniform(0, 500, size=80)
+        queue.push_batch(
+            w, rng.integers(0, 8, size=80), rng.uniform(1, 20, size=80)
+        )
+        queue.push(1.5, 0, 3.0)
+        queue.push(2.5, 1, 4.0)
+        queue.drain_to_pending()
+        times = queue.pending_work_times()
+        assert sorted(times.tolist()) == sorted(w.tolist() + [1.5, 2.5])
+        # And an empty queue forecasts over an empty array, not a crash.
+        empty = TypedEventQueue()
+        empty.drain_to_pending()
+        assert empty.pending_work_times().size == 0
